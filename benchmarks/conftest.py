@@ -1,0 +1,42 @@
+"""Shared helpers for the per-figure benchmarks.
+
+Each benchmark regenerates one figure of the paper's evaluation and
+asserts its headline *shape* (who wins, roughly by how much, where the
+crossovers fall).  Default runs use the reduced "fast" node sets so the
+whole suite finishes in minutes; set ``REPRO_BENCH_FULL=1`` to sweep
+the paper's deployment sizes (up to 49 nodes).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.report import print_table, series_by
+
+FULL = bool(os.environ.get("REPRO_BENCH_FULL"))
+
+
+def run_figure(benchmark, fig_fn, title):
+    """Run one figure sweep under pytest-benchmark and print its table."""
+    holder = {}
+
+    def once():
+        holder["rows"], holder["columns"] = fig_fn(full=FULL)
+        return holder["rows"]
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    print_table(title, holder["rows"], holder["columns"])
+    return holder["rows"]
+
+
+def throughput_of(rows, protocol, **filters):
+    """The throughput of the row matching protocol + filters."""
+    for row in rows:
+        if row["protocol"] != protocol:
+            continue
+        if all(row.get(key) == value for key, value in filters.items()):
+            return row["throughput"]
+    raise KeyError((protocol, filters))
+
+
+__all__ = ["FULL", "run_figure", "series_by", "throughput_of"]

@@ -1,0 +1,42 @@
+"""Figure 1: maximum attainable throughput vs node count, 100% locality.
+
+Paper's shape: M2Paxos is on top at every size and keeps growing with
+the node count (scaling until ~11 nodes, then at a slower rate);
+Multi-Paxos is the runner-up at small sizes but degrades as its single
+leader saturates; EPaxos holds roughly flat; Generalized Paxos trails.
+Peak paper gap: up to 7x over EPaxos at 49 nodes (we accept >= 2.5x at
+the largest size swept).
+"""
+
+from benchmarks.conftest import FULL, run_figure, throughput_of
+from repro.bench.figures import fig1
+
+
+def test_fig1(benchmark):
+    rows = run_figure(benchmark, fig1, "Fig. 1 -- max throughput vs nodes")
+    nodes = sorted({row["nodes"] for row in rows})
+    largest = nodes[-1]
+
+    # M2Paxos wins at every deployment size.
+    for n in nodes:
+        m2 = throughput_of(rows, "m2paxos", nodes=n)
+        for rival in ("multipaxos", "genpaxos", "epaxos"):
+            assert m2 > throughput_of(rows, rival, nodes=n), (n, rival)
+
+    # M2Paxos throughput grows with the node count.
+    m2_series = [throughput_of(rows, "m2paxos", nodes=n) for n in nodes]
+    assert m2_series == sorted(m2_series)
+    assert m2_series[-1] > 1.5 * m2_series[0]
+
+    # The gap over the best competitor widens to a large factor.
+    best_rival = max(
+        throughput_of(rows, rival, nodes=largest)
+        for rival in ("multipaxos", "genpaxos", "epaxos")
+    )
+    assert throughput_of(rows, "m2paxos", nodes=largest) > 2.0 * best_rival
+
+    # Multi-Paxos does not scale: its largest-size throughput is not
+    # meaningfully above its smallest-size one.
+    mp_small = throughput_of(rows, "multipaxos", nodes=nodes[0])
+    mp_large = throughput_of(rows, "multipaxos", nodes=largest)
+    assert mp_large < 1.5 * mp_small

@@ -1,0 +1,28 @@
+"""Figure 2: median command latency without batching, light load.
+
+Paper's shape: M2Paxos delivers fastest everywhere -- ~23% below
+Multi-Paxos at small sizes, up to ~41% below EPaxos at large sizes.
+We assert M2Paxos has the lowest median at every size, with Multi-Paxos
+paying its extra forwarding hop.
+"""
+
+from benchmarks.conftest import run_figure
+from repro.bench.figures import fig2
+
+
+def latency_of(rows, protocol, n):
+    for row in rows:
+        if row["protocol"] == protocol and row["nodes"] == n:
+            return row["p50_ms"]
+    raise KeyError((protocol, n))
+
+
+def test_fig2(benchmark):
+    rows = run_figure(benchmark, fig2, "Fig. 2 -- median latency (no batching)")
+    nodes = sorted({row["nodes"] for row in rows})
+    for n in nodes:
+        m2 = latency_of(rows, "m2paxos", n)
+        for rival in ("multipaxos", "genpaxos", "epaxos"):
+            assert m2 <= latency_of(rows, rival, n), (n, rival)
+        # Multi-Paxos pays the forward hop: clearly slower than M2Paxos.
+        assert latency_of(rows, "multipaxos", n) > 1.1 * m2

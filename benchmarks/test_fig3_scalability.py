@@ -1,0 +1,35 @@
+"""Figure 3: scalability at fixed per-node load (64 clients, 5 ms think).
+
+Paper's shape: with the offered load growing proportionally to the node
+count, only M2Paxos tracks it near-linearly; EPaxos keeps pace up to
+~5-7 nodes (where its fast quorum is still a bare majority) and then
+falls away; the single-leader protocols flatten early.
+"""
+
+from benchmarks.conftest import run_figure, throughput_of
+from repro.bench.figures import fig3
+
+
+def test_fig3(benchmark):
+    rows = run_figure(benchmark, fig3, "Fig. 3 -- fixed per-node load")
+    nodes = sorted({row["nodes"] for row in rows})
+
+    # M2Paxos grows monotonically with the deployment.
+    m2 = [throughput_of(rows, "m2paxos", nodes=n) for n in nodes]
+    assert m2 == sorted(m2)
+
+    # Near-linear: at the largest size, per-node throughput has not
+    # collapsed (>= 45% of the smallest-size per-node value).
+    per_node_small = m2[0] / nodes[0]
+    per_node_large = m2[-1] / nodes[-1]
+    assert per_node_large >= 0.45 * per_node_small
+
+    # Single-leader protocols stop scaling.
+    for single_leader in ("multipaxos", "genpaxos"):
+        series = [throughput_of(rows, single_leader, nodes=n) for n in nodes]
+        assert series[-1] < 1.5 * series[0], single_leader
+
+    # EPaxos is competitive at the smallest size but clearly behind at
+    # the largest.
+    assert throughput_of(rows, "epaxos", nodes=nodes[0]) > 0.6 * m2[0]
+    assert throughput_of(rows, "epaxos", nodes=nodes[-1]) < 0.75 * m2[-1]

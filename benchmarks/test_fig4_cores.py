@@ -1,0 +1,39 @@
+"""Figure 4: throughput as per-node CPU cores grow 4 -> 32.
+
+Paper's shape: M2Paxos exploits the added parallelism (scaling well to
+16 cores, still increasing beyond); EPaxos cannot, because dependency
+bookkeeping serialises its local threads; the single-leader protocols
+stop benefiting once the leader's serial work dominates.
+"""
+
+from benchmarks.conftest import run_figure
+from repro.bench.figures import fig4
+
+
+def tp(rows, protocol, cores):
+    for row in rows:
+        if row["protocol"] == protocol and row["cores"] == cores:
+            return row["throughput"]
+    raise KeyError((protocol, cores))
+
+
+def test_fig4(benchmark):
+    rows = run_figure(benchmark, fig4, "Fig. 4 -- CPU core scaling")
+
+    # M2Paxos: 4 -> 16 cores must give a solid speed-up (paper: "great
+    # scalability up to 16 cores").
+    assert tp(rows, "m2paxos", 16) > 2.2 * tp(rows, "m2paxos", 4)
+    # Still increasing at 32, monotone overall.
+    series = [tp(rows, "m2paxos", c) for c in (4, 8, 16, 32)]
+    assert series == sorted(series)
+
+    # EPaxos barely benefits from quadrupling the cores.
+    assert tp(rows, "epaxos", 16) < 1.8 * tp(rows, "epaxos", 4)
+
+    # M2Paxos gains far more from 4 -> 32 cores than either EPaxos or
+    # Multi-Paxos does.
+    m2_gain = tp(rows, "m2paxos", 32) / tp(rows, "m2paxos", 4)
+    ep_gain = tp(rows, "epaxos", 32) / tp(rows, "epaxos", 4)
+    mp_gain = tp(rows, "multipaxos", 32) / tp(rows, "multipaxos", 4)
+    assert m2_gain > 1.5 * ep_gain
+    assert m2_gain > mp_gain

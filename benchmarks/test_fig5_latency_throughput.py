@@ -1,0 +1,49 @@
+"""Figure 5: latency vs throughput curves, 0% vs 100% locality.
+
+Paper's shape: for each deployment, M2Paxos's curve stays flat (low
+latency) until a much higher throughput than EPaxos's; losing locality
+costs M2Paxos little (commands are forwarded to the owner), while
+EPaxos breaks down earlier (up to ~10%) in the no-locality workload.
+"""
+
+from benchmarks.conftest import run_figure
+from repro.bench.figures import fig5
+
+
+def curve(rows, protocol, n, locality):
+    points = [
+        (row["throughput"], row["p50_ms"])
+        for row in rows
+        if row["protocol"] == protocol
+        and row["nodes"] == n
+        and row["locality"] == locality
+    ]
+    return sorted(points)
+
+
+def knee(points, latency_cap_ms):
+    """Highest throughput reached while latency stays under the cap."""
+    ok = [tp for tp, lat in points if lat <= latency_cap_ms]
+    return max(ok) if ok else 0.0
+
+
+def test_fig5(benchmark):
+    rows = run_figure(benchmark, fig5, "Fig. 5 -- latency vs throughput")
+    nodes = sorted({row["nodes"] for row in rows})
+    for n in nodes:
+        m2_local = curve(rows, "m2paxos", n, 1.0)
+        ep_local = curve(rows, "epaxos", n, 1.0)
+        # Sustained throughput under a latency budget: M2Paxos reaches
+        # at least as far as EPaxos with full locality.
+        cap = 50.0  # ms
+        assert knee(m2_local, cap) >= 0.9 * knee(ep_local, cap), n
+
+        # Locality costs M2Paxos comparatively little throughput.
+        m2_remote = curve(rows, "m2paxos", n, 0.0)
+        assert knee(m2_remote, cap) >= 0.45 * knee(m2_local, cap), n
+
+    # At the largest deployment the local-workload gap is decisive.
+    largest = nodes[-1]
+    assert knee(curve(rows, "m2paxos", largest, 1.0), 50.0) > 1.3 * knee(
+        curve(rows, "epaxos", largest, 1.0), 50.0
+    )

@@ -1,0 +1,48 @@
+"""Figure 7: throughput vs fraction of complex (multi-object) commands.
+
+Paper's shape: M2Paxos's throughput drops as the complex fraction
+grows (each complex command touches one uniformly random object,
+forcing ownership reshuffles), and the drop is softer with a larger
+local-set (1000 objects/node dilutes contention enough to sustain
+throughput to ~50% complex commands).  Multi-Paxos and Generalized
+Paxos are unaffected by complexity; EPaxos loses a little.
+"""
+
+from benchmarks.conftest import run_figure
+from repro.bench.figures import fig7
+
+
+def m2_series(rows, local_set):
+    points = [
+        (row["complex"], row["throughput"])
+        for row in rows
+        if row["protocol"] == "m2paxos" and row["local_set"] == local_set
+    ]
+    return sorted(points)
+
+
+def test_fig7(benchmark):
+    rows = run_figure(benchmark, fig7, "Fig. 7 -- complex command sweep")
+
+    for local_set in (10, 100, 1000):
+        series = m2_series(rows, local_set)
+        base = series[0][1]
+        worst = series[-1][1]
+        # Throughput drops with the complex fraction.
+        assert worst < base, local_set
+
+    # A bigger local-set softens the drop: at the highest swept complex
+    # fraction, 1000 objects/node retains a larger share of its
+    # no-complex throughput than 10 objects/node does.
+    def retention(local_set):
+        series = m2_series(rows, local_set)
+        return series[-1][1] / series[0][1]
+
+    assert retention(1000) > retention(10)
+
+    # Multi-Paxos and Generalized Paxos are insensitive to complexity.
+    for rival in ("multipaxos", "genpaxos"):
+        values = [
+            row["throughput"] for row in rows if row["protocol"] == rival
+        ]
+        assert min(values) > 0.6 * max(values), rival

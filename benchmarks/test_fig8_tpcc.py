@@ -1,0 +1,55 @@
+"""Figure 8: TPC-C workload, 0% and 15% remote-warehouse commands.
+
+Paper's shape: M2Paxos leads under the local-warehouse workload
+(Multi-Paxos the closest competitor, EPaxos far behind because TPC-C's
+conflicts push it off the fast path), and letting 15% of the commands
+target a remote warehouse costs M2Paxos a sizeable share of its
+throughput while the baselines barely move.
+
+Known deviation (see EXPERIMENTS.md): with 15% remote warehouses our
+M2Paxos degrades *more* than the paper's ~40% -- cross-warehouse
+commands steal warehouse ownership, and healing the holes the dethroned
+owner's pipeline leaves behind throttles the simulator's saturated
+pipeline harder than the authors' Go implementation.  The direction of
+every paper claim is preserved; the 15% magnitude is not, so the
+assertions below check M2Paxos's lead only on the local workload and
+the *direction* of the remote-warehouse sensitivity.
+"""
+
+from benchmarks.conftest import run_figure, throughput_of
+from repro.bench.figures import fig8
+
+
+def test_fig8(benchmark):
+    rows = run_figure(benchmark, fig8, "Fig. 8 -- TPC-C")
+    nodes = sorted({row["nodes"] for row in rows})
+    largest = nodes[-1]
+
+    # Local-warehouse workload: M2Paxos leads everywhere.
+    for n in nodes:
+        m2 = throughput_of(rows, "m2paxos", nodes=n, remote_wh=0.0)
+        for rival in ("multipaxos", "genpaxos", "epaxos"):
+            assert m2 > throughput_of(
+                rows, rival, nodes=n, remote_wh=0.0
+            ), (n, rival)
+
+    # Meaningful lead over the closest competitor at at least one swept
+    # size (fast-mode leads run 1.05-1.3x and widen with N; run
+    # REPRO_BENCH_FULL=1 for the larger deployments).
+    def lead(n):
+        m2 = throughput_of(rows, "m2paxos", nodes=n, remote_wh=0.0)
+        best_rival = max(
+            throughput_of(rows, rival, nodes=n, remote_wh=0.0)
+            for rival in ("multipaxos", "genpaxos", "epaxos")
+        )
+        return m2 / best_rival
+
+    assert max(lead(n) for n in nodes) > 1.15
+
+    # Remote warehouses cost M2Paxos throughput; Multi-Paxos is
+    # insensitive to them.
+    m2_remote = throughput_of(rows, "m2paxos", nodes=largest, remote_wh=0.15)
+    assert m2_remote < 0.95 * m2
+    mp = throughput_of(rows, "multipaxos", nodes=largest, remote_wh=0.0)
+    mp_remote = throughput_of(rows, "multipaxos", nodes=largest, remote_wh=0.15)
+    assert mp_remote > 0.7 * mp

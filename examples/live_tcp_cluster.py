@@ -1,0 +1,41 @@
+"""Run M2Paxos over real TCP sockets on localhost.
+
+Run:  python examples/live_tcp_cluster.py
+
+The same protocol objects the simulator drives are bound here to the
+asyncio runtime: three nodes on 127.0.0.1, length-prefixed JSON frames,
+real timers.  Three clients (one per node) propose interleaved
+commands on a shared object; the delivered order agrees everywhere.
+"""
+
+import asyncio
+
+from repro import Command, M2Paxos
+from repro.runtime import LocalCluster
+
+
+async def main() -> None:
+    cluster = LocalCluster(3, lambda node_id, n: M2Paxos())
+    await cluster.start()
+    print("3 nodes listening:",
+          ", ".join(f"node{i}@{host}:{port}"
+                    for i, (host, port) in cluster.peers.items()))
+    try:
+        for seq in range(4):
+            for node in range(3):
+                command = Command.make(node, seq, ["shared-counter"])
+                cluster.propose(node, command)
+                await asyncio.sleep(0.01)
+        await cluster.wait_delivered(12, timeout=15.0)
+
+        orders = [
+            [c.cid for c in cluster.delivered(node)] for node in range(3)
+        ]
+        print("delivered on node 0:", orders[0])
+        print("all replicas agree :", orders[0] == orders[1] == orders[2])
+    finally:
+        await cluster.stop()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

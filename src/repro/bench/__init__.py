@@ -1,0 +1,12 @@
+"""Benchmark harness regenerating every figure of the paper's evaluation.
+
+- :mod:`repro.bench.harness` -- one simulated datapoint: protocol x
+  deployment x workload x offered load -> throughput / latency.
+- :mod:`repro.bench.figures` -- the per-figure sweeps (Figures 1-8),
+  runnable as ``python -m repro.bench.figures <fig1|fig2|...|all>``.
+- :mod:`repro.bench.report` -- aligned-table printing.
+"""
+
+from repro.bench.harness import PointSpec, run_point, protocol_factory
+
+__all__ = ["PointSpec", "run_point", "protocol_factory"]

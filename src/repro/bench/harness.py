@@ -1,0 +1,171 @@
+"""One benchmark datapoint: build a cluster, drive load, measure.
+
+The protocol configurations used here differ from the library defaults
+only in their supervision timeouts: at saturation, command latency is
+dominated by queueing, and the paper's runs are crash-free, so the
+fault-tolerance timers are relaxed to keep spurious recoveries from
+polluting the measurement (exactly as a real deployment would tune
+them).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
+
+from repro.consensus.base import Protocol
+from repro.consensus.epaxos import EPaxos, EPaxosConfig
+from repro.consensus.genpaxos import GenPaxos, GenPaxosConfig
+from repro.consensus.multipaxos import MultiPaxos, MultiPaxosConfig
+from repro.core.protocol import M2Paxos, M2PaxosConfig
+from repro.metrics.collector import MetricsCollector, RunResult
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.cpu import CpuConfig
+from repro.sim.latency import GaussianLatency
+from repro.sim.network import NetworkConfig
+from repro.sim.rng import RngRegistry
+from repro.workloads.client import ClientConfig, OpenLoopClients
+from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
+from repro.workloads.tpcc import TpccConfig, TpccWorkload
+
+PROTOCOLS = ("m2paxos", "multipaxos", "genpaxos", "epaxos")
+
+
+def protocol_factory(
+    name: str, home_hint: Optional[Callable[[str], int]] = None
+) -> Callable[[int, int], Protocol]:
+    """Benchmark-tuned factory for each protocol under test."""
+    if name == "m2paxos":
+        config = M2PaxosConfig(
+            forward_timeout=1.0,
+            # Balanced gap healing: fast enough that ownership-churn
+            # holes do not stall the pipeline for long, slow enough not
+            # to scoop rounds that are merely queued at saturation.
+            gap_timeout=0.5,
+            gap_check_period=0.25,
+            supervise_timeout=30.0,
+            round_timeout=10.0,
+            home_hint=home_hint,
+        )
+        return lambda node_id, n: M2Paxos(config)
+    if name == "multipaxos":
+        config = MultiPaxosConfig(leader_timeout=30.0)
+        return lambda node_id, n: MultiPaxos(config)
+    if name == "genpaxos":
+        config = GenPaxosConfig(retry_timeout=1.0)
+        return lambda node_id, n: GenPaxos(config)
+    if name == "epaxos":
+        config = EPaxosConfig(commit_timeout=30.0)
+        return lambda node_id, n: EPaxos(config)
+    raise ValueError(f"unknown protocol {name!r}; choose from {PROTOCOLS}")
+
+
+@dataclass
+class PointSpec:
+    """Everything defining one datapoint."""
+
+    protocol: str
+    n_nodes: int
+    workload: str = "synthetic"  # "synthetic" | "tpcc"
+    synthetic: SyntheticConfig = field(default_factory=SyntheticConfig)
+    tpcc: TpccConfig = field(default_factory=TpccConfig)
+    clients_per_node: int = 64
+    think_time: float = 0.005
+    max_inflight: int = 96
+    duration: float = 0.25
+    warmup: float = 0.15
+    seed: int = 1
+    cores: int = 16
+    batching: bool = True
+    latency_mean: float = 100e-6
+    latency_stddev: float = 10e-6
+
+    def scaled_for_fast_mode(self) -> "PointSpec":
+        """Cheaper variant used when REPRO_BENCH_FAST is set."""
+        return replace(self, duration=self.duration / 2, warmup=self.warmup / 2)
+
+
+def fast_mode() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_FAST"))
+
+
+def build_workload(spec: PointSpec, rng: RngRegistry):
+    if spec.workload == "synthetic":
+        return SyntheticWorkload(spec.synthetic, spec.n_nodes, rng.stream("workload"))
+    if spec.workload == "tpcc":
+        return TpccWorkload(spec.tpcc, spec.n_nodes, rng.stream("workload"))
+    raise ValueError(f"unknown workload {spec.workload!r}")
+
+
+def run_point(spec: PointSpec) -> RunResult:
+    """Simulate one datapoint and return its measurements."""
+    if fast_mode():
+        spec = spec.scaled_for_fast_mode()
+    network = NetworkConfig(
+        latency=GaussianLatency(spec.latency_mean, spec.latency_stddev),
+        batching=spec.batching,
+    )
+    home_hint = None
+    if spec.workload == "tpcc":
+        # TPC-C declares its partitioning: every object of warehouse W
+        # is homed at node ``W % N`` (DESIGN.md, "home-ownership hint").
+        n_nodes = spec.n_nodes
+
+        def home_hint(name: str, _n: int = n_nodes) -> int:
+            return int(name[1:].split(".", 1)[0]) % _n
+
+    cluster = Cluster(
+        ClusterConfig(
+            n_nodes=spec.n_nodes,
+            seed=spec.seed,
+            network=network,
+            cpu=CpuConfig(cores=spec.cores),
+        ),
+        protocol_factory(spec.protocol, home_hint=home_hint),
+    )
+    workload_rng = RngRegistry(spec.seed * 7919 + 13)
+    workload = build_workload(spec, workload_rng)
+    collector = MetricsCollector(cluster, warmup=spec.warmup)
+    clients = OpenLoopClients(
+        cluster,
+        workload,
+        ClientConfig(
+            clients_per_node=spec.clients_per_node,
+            think_time=spec.think_time,
+            max_inflight_per_node=spec.max_inflight,
+        ),
+        collector=collector,
+    )
+    cluster.start()
+    clients.start()
+    cluster.run_for(spec.warmup)
+    collector.begin_window()
+    cluster.run_for(spec.duration)
+    collector.end_window()
+    clients.stop()
+    cluster.check_consistency()
+    result = collector.result()
+    result.extra["protocol_stats"] = [
+        dict(node.protocol.stats) for node in cluster.nodes
+    ]
+    return result
+
+
+def saturated_spec(spec: PointSpec) -> PointSpec:
+    """An offered load well above any protocol's capacity, so measured
+    throughput equals capacity (the paper's 'maximum attainable
+    throughput' methodology: load to saturation, report the plateau).
+
+    The warm-up is stretched so the in-flight pipeline reaches steady
+    state before the measurement window opens -- at saturation the
+    queueing delay is a large multiple of the unloaded latency.
+    """
+    return replace(
+        spec,
+        clients_per_node=64,
+        think_time=0.002,
+        max_inflight=96,
+        warmup=max(spec.warmup, 0.5),
+        duration=max(spec.duration, 0.3),
+    )

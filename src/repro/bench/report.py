@@ -1,0 +1,53 @@
+"""Aligned-table output for benchmark sweeps."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]], columns: Sequence[str]
+) -> str:
+    """Render rows as a monospace table with right-aligned numbers."""
+    rendered: list[list[str]] = [[str(col) for col in columns]]
+    for row in rows:
+        line = []
+        for col in columns:
+            value = row.get(col, "")
+            if isinstance(value, float):
+                line.append(f"{value:,.1f}" if value >= 10 else f"{value:.3f}")
+            elif isinstance(value, int):
+                line.append(f"{value:,}")
+            else:
+                line.append(str(value))
+        rendered.append(line)
+    widths = [
+        max(len(line[i]) for line in rendered) for i in range(len(columns))
+    ]
+    out = []
+    for idx, line in enumerate(rendered):
+        out.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(line, widths))
+        )
+        if idx == 0:
+            out.append("  ".join("-" * width for width in widths))
+    return "\n".join(out)
+
+
+def print_table(
+    title: str, rows: Sequence[Mapping[str, object]], columns: Sequence[str]
+) -> None:
+    print(f"\n== {title} ==")
+    print(format_table(rows, columns))
+
+
+def series_by(
+    rows: Iterable[Mapping[str, object]], key: str, x: str, y: str
+) -> dict[object, list[tuple[object, object]]]:
+    """Group rows into named (x, y) series, for assertions on shapes."""
+    series: dict[object, list[tuple[object, object]]] = {}
+    for row in rows:
+        series.setdefault(row[key], []).append((row[x], row[y]))
+    for points in series.values():
+        points.sort(key=lambda p: p[0])
+    return series

@@ -1,0 +1,152 @@
+"""Command-line interface: quick experiments without writing a script.
+
+Usage::
+
+    python -m repro run --protocol m2paxos --nodes 5 --duration 0.3
+    python -m repro run --protocol epaxos --workload tpcc --remote 0.15
+    python -m repro compare --nodes 5
+    python -m repro figures fig1 [--full]
+    python -m repro modelcheck [--ballots 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import PROTOCOLS, PointSpec, run_point, saturated_spec
+from repro.bench.report import print_table
+from repro.workloads.synthetic import SyntheticConfig
+from repro.workloads.tpcc import TpccConfig
+
+
+def _spec_from_args(args, protocol: str) -> PointSpec:
+    spec = PointSpec(
+        protocol=protocol,
+        n_nodes=args.nodes,
+        workload=args.workload,
+        synthetic=SyntheticConfig(
+            locality=args.locality,
+            complex_fraction=args.complex,
+            local_set_size=args.local_set,
+        ),
+        tpcc=TpccConfig(remote_warehouse_prob=args.remote),
+        duration=args.duration,
+        warmup=args.warmup,
+        seed=args.seed,
+        cores=args.cores,
+    )
+    if args.saturate:
+        spec = saturated_spec(spec)
+    return spec
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=5)
+    parser.add_argument("--workload", choices=("synthetic", "tpcc"), default="synthetic")
+    parser.add_argument("--locality", type=float, default=1.0)
+    parser.add_argument("--complex", type=float, default=0.0)
+    parser.add_argument("--local-set", dest="local_set", type=int, default=100)
+    parser.add_argument("--remote", type=float, default=0.0,
+                        help="TPC-C remote-warehouse probability")
+    parser.add_argument("--duration", type=float, default=0.3)
+    parser.add_argument("--warmup", type=float, default=0.3)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--cores", type=int, default=16)
+    parser.add_argument("--saturate", action="store_true",
+                        help="drive to saturation (max-throughput methodology)")
+
+
+def _row(protocol: str, result) -> dict:
+    return {
+        "protocol": protocol,
+        "throughput": result.throughput,
+        "p50_ms": result.latency.p50 * 1e3 if result.latency else float("nan"),
+        "p95_ms": result.latency.p95 * 1e3 if result.latency else float("nan"),
+        "messages": result.messages_sent,
+        "MB": result.bytes_sent / 1e6,
+    }
+
+
+def cmd_run(args) -> int:
+    spec = _spec_from_args(args, args.protocol)
+    result = run_point(spec)
+    print_table(
+        f"{args.protocol} / {args.workload} / {args.nodes} nodes",
+        [_row(args.protocol, result)],
+        ["protocol", "throughput", "p50_ms", "p95_ms", "messages", "MB"],
+    )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    rows = []
+    for protocol in PROTOCOLS:
+        result = run_point(_spec_from_args(args, protocol))
+        rows.append(_row(protocol, result))
+    rows.sort(key=lambda row: -row["throughput"])
+    print_table(
+        f"all protocols / {args.workload} / {args.nodes} nodes",
+        rows,
+        ["protocol", "throughput", "p50_ms", "p95_ms", "messages", "MB"],
+    )
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.bench.figures import main as figures_main
+
+    argv = list(args.names)
+    if args.full:
+        argv.append("--full")
+    figures_main(argv)
+    return 0
+
+
+def cmd_modelcheck(args) -> int:
+    from repro.core.modelcheck import ModelChecker, ModelConfig
+
+    checker = ModelChecker(
+        ModelConfig(n_ballots=args.ballots, max_states=args.max_states)
+    )
+    try:
+        states = checker.run()
+    except RuntimeError:
+        print(
+            f"bounded: {checker.states_explored} states (cap reached), "
+            f"no violation found"
+        )
+        return 0
+    print(f"exhaustive: {states} distinct states, no violation found")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="one protocol, one datapoint")
+    run_parser.add_argument("--protocol", choices=PROTOCOLS, default="m2paxos")
+    _add_run_args(run_parser)
+    run_parser.set_defaults(fn=cmd_run)
+
+    compare_parser = sub.add_parser("compare", help="all protocols, same workload")
+    _add_run_args(compare_parser)
+    compare_parser.set_defaults(fn=cmd_compare)
+
+    figures_parser = sub.add_parser("figures", help="regenerate paper figures")
+    figures_parser.add_argument("names", nargs="*", default=["all"])
+    figures_parser.add_argument("--full", action="store_true")
+    figures_parser.set_defaults(fn=cmd_figures)
+
+    mc_parser = sub.add_parser("modelcheck", help="exhaustive TLA+-mirror check")
+    mc_parser.add_argument("--ballots", type=int, default=1)
+    mc_parser.add_argument("--max-states", type=int, default=2_000_000)
+    mc_parser.set_defaults(fn=cmd_modelcheck)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,226 @@
+"""The sans-I/O contract between protocols and their runtime.
+
+A consensus protocol is a plain state machine: it receives events
+(``propose``, ``on_message``, timer callbacks) and produces effects
+through its :class:`Env` (send / broadcast / set a timer / deliver a
+command to the application).  Nothing in a protocol touches sockets,
+clocks, or threads, so the *same object* runs under the deterministic
+simulator (:mod:`repro.sim`) and the asyncio runtime
+(:mod:`repro.runtime`).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, fields
+from typing import Callable, Optional
+
+from repro.consensus.commands import Command
+
+
+def classic_quorum_size(n: int) -> int:
+    """Classic (majority) quorum: ``floor(N/2) + 1``."""
+    if n < 1:
+        raise ValueError("need at least one node")
+    return n // 2 + 1
+
+
+def fast_quorum_size(n: int) -> int:
+    """Fast Paxos / Generalized Paxos fast quorum: ``floor(2N/3) + 1``."""
+    if n < 1:
+        raise ValueError("need at least one node")
+    return (2 * n) // 3 + 1
+
+
+def epaxos_fast_quorum_size(n: int) -> int:
+    """EPaxos fast quorum: ``F + floor((F+1)/2)`` where ``N = 2F + 1``.
+
+    For N <= 5 this equals the classic majority (the 'optimized EPaxos'
+    quorum), which is why EPaxos tracks M2Paxos up to 5-7 nodes in the
+    paper's Figure 3 and then falls behind.
+    """
+    if n < 1:
+        raise ValueError("need at least one node")
+    f = (n - 1) // 2
+    return f + (f + 1) // 2
+
+
+class Message:
+    """Base class for protocol messages.
+
+    Subclasses are dataclasses; :meth:`size_bytes` derives an
+    approximate wire size from the fields so the network model can
+    charge transmission time (this is how dependency metadata makes
+    EPaxos/GenPaxos messages bigger, one of the effects the paper
+    measures).
+    """
+
+    TAG_BYTES = 4
+
+    def size_bytes(self) -> int:
+        # Cached: messages are immutable and broadcast to N receivers,
+        # so the recursive estimate runs once per message, not per send.
+        cached = self.__dict__.get("_cached_size")
+        if cached is None:
+            cached = self.TAG_BYTES + _estimate_size(self)
+            object.__setattr__(self, "_cached_size", cached)
+        return cached
+
+
+_FIELD_NAME_CACHE: dict[type, tuple[str, ...]] = {}
+
+
+def _estimate_size(value: object) -> int:
+    """Recursive size estimate for message payloads."""
+    if value is None or isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, Command):
+        return value.size_bytes()
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 4 + sum(_estimate_size(v) for v in value)
+    if isinstance(value, dict):
+        return 4 + sum(
+            _estimate_size(k) + _estimate_size(v) for k, v in value.items()
+        )
+    if hasattr(value, "__dataclass_fields__"):
+        cls = type(value)
+        names = _FIELD_NAME_CACHE.get(cls)
+        if names is None:
+            names = tuple(f.name for f in fields(value))  # type: ignore[arg-type]
+            _FIELD_NAME_CACHE[cls] = names
+        return sum(_estimate_size(getattr(value, name)) for name in names)
+    return 8
+
+
+@dataclass(frozen=True)
+class ProtocolCosts:
+    """CPU cost parameters charged by the simulator per message.
+
+    ``base_cost``: CPU seconds to parse + handle one message (on the
+    latency-critical path).
+    ``serial_fraction``: share of CPU work executed under the node's
+    global lock (see :mod:`repro.sim.cpu`).  The paper attributes
+    EPaxos's poor core scaling to synchronisation on shared dependency
+    metadata -- expressed here as a high serial fraction.
+    ``per_conflict_cost``: extra CPU per tracked dependency (EPaxos and
+    Generalized Paxos pay this; M2Paxos and Multi-Paxos do not).
+    ``propose_cost``: per-command client-handling / coordination work
+    charged at the proposer as CPU *occupancy* (it loads the cores and
+    so caps throughput, but is pipelined off the latency path).  This
+    is the term that makes multi-leader protocols scale with N: it is
+    the only per-command cost that divides across nodes.
+    ``send_cost``: CPU occupancy per message sent (serialisation +
+    syscall); amortised by batching.
+
+    The absolute values are calibrated for the simulator, not for any
+    particular hardware: only ratios between protocols and the shape of
+    the resulting curves are meaningful (see DESIGN.md, Substitutions).
+    """
+
+    base_cost: float = 160e-6
+    serial_fraction: float = 0.05
+    per_conflict_cost: float = 0.0
+    propose_cost: float = 8e-3
+    propose_serial_fraction: float = 0.02
+    send_cost: float = 4e-6
+
+
+class TimerHandle(ABC):
+    """Cancellable timer returned by :meth:`Env.set_timer`."""
+
+    @abstractmethod
+    def cancel(self) -> None: ...
+
+
+class Env(ABC):
+    """Effects interface a protocol uses to interact with the world."""
+
+    node_id: int
+    n_nodes: int
+
+    @property
+    def nodes(self) -> range:
+        """All node identifiers, ``0 .. n_nodes - 1``."""
+        return range(self.n_nodes)
+
+    @abstractmethod
+    def send(self, dst: int, message: Message) -> None:
+        """Send ``message`` to node ``dst`` (may be ``self.node_id``)."""
+
+    def broadcast(self, message: Message, include_self: bool = True) -> None:
+        """Send ``message`` to every node ("to all p_k in Pi")."""
+        for dst in self.nodes:
+            if include_self or dst != self.node_id:
+                self.send(dst, message)
+
+    @abstractmethod
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        """Run ``callback`` after ``delay`` seconds unless cancelled."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in seconds (virtual under the simulator)."""
+
+    @abstractmethod
+    def deliver(self, command: Command) -> None:
+        """Hand a decided command to the application (C-DECIDE append)."""
+
+    @property
+    @abstractmethod
+    def rng(self) -> random.Random:
+        """Per-node seeded random stream (timeout jitter etc.)."""
+
+
+class Protocol(ABC):
+    """A consensus protocol state machine.
+
+    Lifecycle: construct, :meth:`bind` to an :class:`Env`, then feed
+    events.  A protocol must be usable with any Env implementation.
+    """
+
+    costs = ProtocolCosts()
+
+    def __init__(self) -> None:
+        self.env: Optional[Env] = None
+
+    def bind(self, env: Env) -> None:
+        if self.env is not None:
+            raise RuntimeError("protocol already bound")
+        self.env = env
+
+    def on_start(self) -> None:
+        """Called once after bind; override to start leader election etc."""
+
+    @abstractmethod
+    def propose(self, command: Command) -> None:
+        """C-PROPOSE: submit ``command`` for ordering."""
+
+    @abstractmethod
+    def on_message(self, sender: int, message: Message) -> None:
+        """Handle a message delivered by the runtime."""
+
+    def processing_cost(self, message: Optional[Message]) -> tuple[float, float]:
+        """``(cpu_seconds, serial_fraction)`` to charge for one event.
+
+        ``message`` is None for propose/timer events.  Protocols with
+        data-dependent costs (EPaxos dependency computation) override
+        this.
+        """
+        return self.costs.base_cost, self.costs.serial_fraction
+
+    def occupancy_cost(self, message: Message) -> tuple[float, float]:
+        """``(cpu_seconds, serial_fraction)`` of extra CPU occupancy for
+        handling ``message``: work that loads the cores (capping
+        throughput) without delaying the handler itself.  Used e.g. for
+        the Multi-Paxos leader's per-command coordination work.
+        Default: none."""
+        return 0.0, 0.0
+
+    def crash(self) -> None:
+        """Called by failure injection; default protocols are memoryless
+        about it (the runtime stops feeding them events)."""

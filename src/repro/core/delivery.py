@@ -1,0 +1,127 @@
+"""C-struct delivery engine (Algorithm 3, lines 12-16).
+
+A command ``c`` may be appended to the local C-struct once, for every
+object ``l`` in ``c.LS``, ``c`` is decided at exactly the next position
+to append for ``l`` (``LastDecided[l] + 1``).  Appending advances the
+pointer of every object of ``c``, which can unblock further commands,
+so the engine loops until a fixpoint.
+
+Two practical refinements over the pseudocode:
+
+- commands that were decided at more than one position for the same
+  object (possible when a NACKed accept round is later *forced* to
+  completion by another node while the proposer already retried) are
+  appended only once; the duplicate position is skipped like a no-op;
+- no-op commands advance the pointer but are not handed to the
+  application.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Optional
+
+from repro.consensus.commands import Command
+from repro.core.state import M2PaxosState
+
+
+class DeliveryEngine:
+    """Turns per-instance decisions into a delivered command sequence."""
+
+    def __init__(
+        self,
+        state: M2PaxosState,
+        deliver: Callable[[Command], None],
+    ) -> None:
+        self._state = state
+        self._deliver = deliver
+        self.cstruct: list[Command] = []
+        self._appended_cids: set[tuple[int, int]] = set()
+
+    def __contains__(self, command: Command) -> bool:
+        return command.cid in self._appended_cids
+
+    def record_decision(self, l: str, position: int, command: Command, now: float) -> bool:
+        """Record ``Decided[l][position] = command``; returns True if new.
+
+        Decisions are final: a second decision for the same instance is
+        ignored (and, if it disagrees, reported by the caller's paranoia
+        checks before we get here).
+        """
+        obj = self._state.obj(l)
+        if position in obj.decided:
+            return False
+        obj.decided[position] = command
+        obj.observe_position(position)
+        obj.last_progress = now
+        return True
+
+    def pump(self, dirty: Optional[Iterable[str]] = None) -> list[Command]:
+        """Append every deliverable command; return the new appends.
+
+        ``dirty`` restricts the scan to objects whose frontier may have
+        moved (the objects of a just-recorded decision); appending a
+        command re-dirties its other objects.  Without ``dirty`` all
+        objects are scanned (used by tests and after bulk loads).
+        """
+        appended: list[Command] = []
+        work = deque(dirty if dirty is not None else self._state.objects)
+        while work:
+            l = work.popleft()
+            obj = self._state.objects.get(l)
+            if obj is None:
+                continue
+            while True:
+                command = obj.decided.get(obj.appended + 1)
+                if command is None:
+                    break
+                if command.noop or command.cid in self._appended_cids:
+                    # Fillers and duplicate positions: just advance.
+                    obj.appended += 1
+                    continue
+                if not self._ready(command):
+                    break
+                self._append(command)
+                appended.append(command)
+                for other in command.ls:
+                    if other != l:
+                        work.append(other)
+        return appended
+
+    def _ready(self, command: Command) -> bool:
+        """Is ``command`` at the append frontier of all its objects?"""
+        for l in command.ls:
+            obj = self._state.objects.get(l)
+            if obj is None:
+                return False
+            front = obj.decided.get(obj.appended + 1)
+            if front is None or front.cid != command.cid:
+                return False
+        return True
+
+    def _append(self, command: Command) -> None:
+        for l in command.ls:
+            self._state.obj(l).appended += 1
+        self.cstruct.append(command)
+        self._appended_cids.add(command.cid)
+        self._deliver(command)
+
+    def undelivered_gap(self, l: str) -> Optional[int]:
+        """Position blocking delivery for ``l``, if any.
+
+        Returns ``appended + 1`` when some *higher* position is already
+        decided but the frontier position is not -- the situation gap
+        recovery must resolve (typically after a coordinator crash).
+        """
+        obj = self._state.objects.get(l)
+        if obj is None:
+            return None
+        frontier = obj.appended + 1
+        if frontier in obj.decided:
+            return None
+        # Any activity at or above the frontier (a higher decision, or an
+        # accept/prepare that reserved the position) means the frontier
+        # may be stuck -- e.g. its coordinator crashed mid-round.
+        if obj.max_decided() > frontier or obj.next_slot > frontier:
+            return frontier
+        return None

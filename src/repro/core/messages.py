@@ -1,0 +1,125 @@
+"""M2Paxos wire messages (Algorithms 1-4 of the paper).
+
+Notation: an *instance* is the pair ``(l, in)`` -- object ``l`` at
+delivery position ``in``.  ``ins`` sets are carried implicitly as the
+key sets of the ``eps`` / ``to_decide`` dictionaries.
+
+None of these messages carries dependency sets -- that absence is the
+point of the protocol, and it is visible in :meth:`Message.size_bytes`:
+M2Paxos messages stay small no matter how contended the workload is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.consensus.base import Message
+from repro.consensus.commands import Command
+
+Instance = tuple[str, int]
+"""``(object id, position)`` -- one per-object consensus slot."""
+
+
+@dataclass(frozen=True)
+class Forward(Message):
+    """PROPOSE(c) forwarded to the believed owner (Section IV-B).
+
+    ``hops`` counts forwarding steps so stale ownership views cannot
+    bounce a command around forever; past the hop limit the receiver
+    acquires ownership itself.
+    """
+
+    command: Command
+    hops: int = 0
+
+
+@dataclass(frozen=True)
+class Accept(Message):
+    """ACCEPT: request acceptance of commands at instances (Algorithm 2).
+
+    ``to_decide[(l, in)]`` is the command to accept at that instance and
+    ``eps[(l, in)]`` the epoch it is proposed in.  ``req`` correlates
+    the replies back to one accept round at the coordinator.
+
+    ``cmd_ins`` optionally carries a command's *authoritative* full
+    instance set when this round covers only part of it (a recovery of
+    the still-undecided subset).  Acceptors must remember the full set,
+    or a later force would treat the command as single-instance and
+    split its decision across misaligned positions.
+    """
+
+    req: int
+    to_decide: dict[Instance, Command]
+    eps: dict[Instance, int]
+    cmd_ins: dict[tuple[int, int], tuple[Instance, ...]] = field(
+        default_factory=dict
+    )
+    # Scoped rounds (gap / forced-command recovery) arbitrate purely at
+    # instance level and do not claim or contest object ownership.
+    scoped: bool = False
+
+
+@dataclass(frozen=True)
+class AckAccept(Message):
+    """ACKACCEPT: positive or negative vote on an Accept.
+
+    Carries only the *ids* of the voted commands -- every recipient
+    already holds the bodies from the Accept broadcast (and a real
+    implementation would never echo payloads back).
+
+    On NACK, ``max_rnd`` reports the highest epoch the rejecting node
+    has promised for any of the refused instances, so the coordinator
+    can catch its epoch counters up instead of probing one step at a
+    time.
+    """
+
+    req: int
+    coordinator: int
+    ok: bool
+    cids: dict[Instance, tuple[int, int]]
+    eps: dict[Instance, int]
+    max_rnd: int = 0
+
+
+@dataclass(frozen=True)
+class Decide(Message):
+    """DECIDE: the coordinator learned a quorum; finalise the instances."""
+
+    to_decide: dict[Instance, Command]
+
+
+@dataclass(frozen=True)
+class Prepare(Message):
+    """PREPARE: ownership acquisition, a multi-object Paxos phase 1a.
+
+    A *scoped* prepare (gap / forced-command recovery) targets explicit
+    stalled instances with instance-level ballots and does not dethrone
+    the object's owner; an unscoped one starts a new object epoch and
+    its replies report the object's whole active tail (Multi-Paxos view
+    change).
+    """
+
+    req: int
+    eps: dict[Instance, int]
+    scoped: bool = False
+
+
+@dataclass(frozen=True)
+class AckPrepare(Message):
+    """ACKPREPARE: Paxos phase 1b over all requested instances.
+
+    ``decs[(l, in)]`` is ``(accepted command or None, epoch it was
+    accepted in, the accept round's full instance set)`` -- what SELECT
+    needs to compute the commands that must be *forced* (Algorithm 4,
+    lines 22-28) and, for multi-object commands, the instance set their
+    recovery must cover atomically.
+    ``max_rnd`` serves the same catch-up role as in :class:`AckAccept`.
+    """
+
+    req: int
+    ok: bool
+    decs: dict[
+        Instance, tuple[Optional[Command], int, tuple[Instance, ...]]
+    ] = field(default_factory=dict)
+    max_rnd: int = 0

@@ -1,0 +1,104 @@
+"""Ownership policies: *when* to take an object over (Section IV-C).
+
+"In this paper we do not focus on defining optimized policies that
+regulate when an object ownership is better to change because we
+believe it is an orthogonal problem ... In our implementation we use a
+simple on-demand policy that attempts to change the ownership when a
+request is issued by the application."
+
+This module makes that decision point pluggable:
+
+- :class:`OnDemandPolicy` -- the paper's default: acquire whenever a
+  command needs objects with no usable single owner.
+- :class:`StickyPolicy` -- a Lilac-TM-flavoured migration policy:
+  prefer forwarding to the current owner of the *majority* of the
+  command's objects, and acquire only after the same object has been
+  requested locally ``threshold`` times in a row -- objects migrate to
+  where their traffic actually is, and one-off remote accesses do not
+  bounce ownership around.
+
+A policy only *redirects* commands (forward vs acquire); safety is
+entirely the protocol's, so any policy is safe by construction.
+
+Policies hold per-node state (request streaks): construct one instance
+per protocol instance -- do not share a policy object between the nodes
+of an in-process cluster.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from repro.consensus.commands import Command
+
+ACQUIRE = "acquire"
+FORWARD = "forward"
+
+
+class OwnershipPolicy(ABC):
+    """Decides how to handle a command with no usable single owner."""
+
+    @abstractmethod
+    def decide(
+        self,
+        node_id: int,
+        command: Command,
+        owners: dict[str, Optional[int]],
+    ) -> tuple[str, Optional[int]]:
+        """Return ``(ACQUIRE, None)`` or ``(FORWARD, target_node)``.
+
+        ``owners`` maps each *undecided* object of the command to its
+        believed current owner (possibly None).  Called only when the
+        plain paths did not apply: the proposer is not the owner of
+        everything, and no single other node owns everything.
+        """
+
+    def on_local_request(self, node_id: int, command: Command) -> None:
+        """Observe a local proposal (for request-counting policies)."""
+
+
+class OnDemandPolicy(OwnershipPolicy):
+    """The paper's default: always acquire."""
+
+    def decide(self, node_id, command, owners):
+        return ACQUIRE, None
+
+
+class StickyPolicy(OwnershipPolicy):
+    """Majority-owner forwarding with a migration threshold.
+
+    ``threshold`` local requests for an object (without an intervening
+    decision elsewhere) are required before this node will steal it; in
+    the meantime commands are forwarded to whichever node owns the most
+    of their objects (it acquires the stragglers itself, which is
+    cheaper than a full reshuffle when most objects already co-reside).
+    """
+
+    def __init__(self, threshold: int = 3) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self._streak: dict[str, int] = {}
+
+    def on_local_request(self, node_id: int, command: Command) -> None:
+        for obj in command.ls:
+            self._streak[obj] = self._streak.get(obj, 0) + 1
+
+    def decide(self, node_id, command, owners):
+        known = [owner for owner in owners.values() if owner is not None]
+        hot_enough = all(
+            self._streak.get(obj, 0) >= self.threshold for obj in owners
+        )
+        if hot_enough or not known:
+            # Earned the migration (or nobody owns anything yet).
+            for obj in owners:
+                self._streak[obj] = 0
+            return ACQUIRE, None
+        tally: dict[int, int] = {}
+        for owner in known:
+            tally[owner] = tally.get(owner, 0) + 1
+        majority_owner = max(tally, key=lambda node: (tally[node], -node))
+        if majority_owner == node_id:
+            return ACQUIRE, None  # we already hold the majority: finish it
+        return FORWARD, majority_owner

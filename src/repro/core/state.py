@@ -1,0 +1,162 @@
+"""Per-node M2Paxos bookkeeping (Section V-A of the paper).
+
+The paper's multidimensional arrays become dictionaries keyed by object
+id or by instance ``(l, in)``; defaults mirror the paper's initial
+values (epochs/rounds 0, votes NULL, owners NULL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.consensus.commands import Command
+from repro.core.messages import Instance
+
+
+@dataclass
+class ObjectState:
+    """Everything node-local about one object ``l``.
+
+    ``epoch``       -- ``Epoch[l]``: current epoch number observed.
+    ``promised``    -- object-level promise: the highest epoch this node
+                       has acknowledged a PREPARE or ACCEPT for on this
+                       object.  Because the owner pipelines commands
+                       into *fresh* instances (whose per-instance
+                       ``rnd`` is still 0), leadership must be enforced
+                       at the object level, exactly as Multi-Paxos
+                       enforces it per-log: accepts below ``promised``
+                       are refused, making the owner of each epoch
+                       unique.
+    ``owner``       -- ``Owners[l]``: believed current owner (or None).
+    ``owner_epoch`` -- epoch at which ``owner`` acquired the object; a
+                       node is *currently* owner only while no higher
+                       epoch has been observed.
+    ``appended``    -- ``LastDecided[l]``: last position whose command
+                       has been appended to the local C-struct.
+    ``next_slot``   -- the next position this node would propose at; it
+                       is kept ahead of every position the node has seen
+                       used (decided, accepted, or prepared), which is
+                       how the owner pipelines commands on one object
+                       without self-collision.
+    """
+
+    epoch: int = 0
+    promised: int = 0
+    owner: Optional[int] = None
+    owner_epoch: int = 0
+    appended: int = 0
+    next_slot: int = 1
+    decided: dict[int, Command] = field(default_factory=dict)
+    last_progress: float = 0.0  # for gap-recovery timeouts
+
+    def observe_position(self, position: int) -> None:
+        """Keep ``next_slot`` strictly ahead of any used position."""
+        if position >= self.next_slot:
+            self.next_slot = position + 1
+
+    def max_decided(self) -> int:
+        return max(self.decided, default=0)
+
+
+@dataclass
+class InstanceState:
+    """Acceptor-side state for one instance ``(l, in)``.
+
+    ``rnd``  -- ``Rnd[l][in]``: highest epoch participated in.
+    ``rdec`` -- ``Rdec[l][in]``: highest epoch a command was accepted in.
+    ``vdec`` -- ``Vdec[l][in]``: the command accepted at ``rdec``.
+    ``vdec_ins`` -- the full instance set of the accept round that
+    placed ``vdec`` here.  Recovery of a multi-object command must
+    re-propose it over this *whole* set: re-deciding it at a single
+    instance could leave it decided at positions chosen at different
+    times on different objects, which can knot the per-object delivery
+    orders into a cycle (see DESIGN.md).
+    """
+
+    rnd: int = 0
+    rdec: int = 0
+    vdec: Optional[Command] = None
+    vdec_ins: tuple[Instance, ...] = ()
+
+
+class M2PaxosState:
+    """Aggregates the dictionaries and provides defaulting accessors."""
+
+    def __init__(self, home_hint=None) -> None:
+        # ``home_hint(l) -> node id`` statically assigns epoch-0
+        # ownership (all nodes must share the same deterministic map).
+        # Equivalent to Multi-Paxos's pre-agreed initial leader, per
+        # object: safe because the epoch-0 owner is unique by
+        # construction, and any node can still take over by preparing
+        # epoch 1.  Used for workloads like TPC-C where the application
+        # declares which node "homes" each object.
+        self.home_hint = home_hint
+        self.objects: dict[str, ObjectState] = {}
+        self.instances: dict[Instance, InstanceState] = {}
+        # Per-object index of positions with acceptor activity, so a
+        # prepare can report the object's tail without scanning every
+        # instance in the system.
+        self.active_positions: dict[str, set[int]] = {}
+        # Objects whose delivery frontier might be stuck; the gap checker
+        # scans only these (workloads like TPC-C touch 10^4..10^5 objects,
+        # so scanning everything every period would dominate).
+        self.gap_candidates: set[str] = set()
+        # Acks[l][in][e] of the paper, keyed further by command id so a
+        # quorum is only counted for matching votes:
+        # acks[(instance, epoch, cid)] = set of voter node ids.
+        self.acks: dict[tuple[Instance, int, tuple[int, int]], set[int]] = {}
+
+    def obj(self, l: str) -> ObjectState:
+        state = self.objects.get(l)
+        if state is None:
+            state = ObjectState()
+            if self.home_hint is not None:
+                state.owner = self.home_hint(l)
+            self.objects[l] = state
+        return state
+
+    def inst(self, instance: Instance) -> InstanceState:
+        state = self.instances.get(instance)
+        if state is None:
+            state = InstanceState()
+            self.instances[instance] = state
+            self.active_positions.setdefault(instance[0], set()).add(instance[1])
+        return state
+
+    def positions_with_activity(self, l: str, at_or_above: int) -> list[int]:
+        """Positions >= ``at_or_above`` of ``l`` with any recorded
+        activity (acceptance or decision) -- the tail a new owner's
+        phase 1 must learn about."""
+        positions = {
+            p
+            for p in self.active_positions.get(l, ())
+            if p >= at_or_above
+        }
+        obj = self.objects.get(l)
+        if obj is not None:
+            positions.update(p for p in obj.decided if p >= at_or_above)
+        return sorted(positions)
+
+    def decided_at(self, instance: Instance) -> Optional[Command]:
+        l, position = instance
+        state = self.objects.get(l)
+        if state is None:
+            return None
+        return state.decided.get(position)
+
+    def is_decided_for(self, l: str, command: Command) -> bool:
+        """``exists in : Decided[l][in] = c`` (Algorithm 1, line 2)."""
+        state = self.objects.get(l)
+        if state is None:
+            return False
+        return any(c.cid == command.cid for c in state.decided.values())
+
+    def record_ack(
+        self, instance: Instance, epoch: int, cid: tuple[int, int], voter: int
+    ) -> int:
+        """Register one ACKACCEPT vote; return the vote count."""
+        key = (instance, epoch, cid)
+        voters = self.acks.setdefault(key, set())
+        voters.add(voter)
+        return len(voters)

@@ -1,0 +1,6 @@
+"""Measurement: latency recording, throughput windows, percentiles."""
+
+from repro.metrics.stats import Summary, percentile, summarize
+from repro.metrics.collector import MetricsCollector
+
+__all__ = ["Summary", "percentile", "summarize", "MetricsCollector"]

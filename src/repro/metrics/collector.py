@@ -1,0 +1,104 @@
+"""Per-run metrics collection.
+
+The collector hooks every node's delivery stream.  A command's latency
+is measured at its *proposer*: the time from the client's C-PROPOSE to
+the moment the proposer's own replica delivers the command (the point
+at which a replicated state machine could answer the client).
+Throughput counts each command once, at first delivery anywhere, inside
+the measurement window (after warm-up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.consensus.commands import Command
+from repro.metrics.stats import Summary, summarize
+from repro.sim.cluster import Cluster
+
+
+@dataclass
+class RunResult:
+    """What one simulated run produced."""
+
+    duration: float
+    delivered: int
+    throughput: float
+    latency: Optional[Summary]
+    messages_sent: int
+    bytes_sent: int
+    proposed: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class MetricsCollector:
+    """Attach to a cluster before driving load through it."""
+
+    def __init__(self, cluster: Cluster, warmup: float = 0.0) -> None:
+        self.cluster = cluster
+        self.warmup = warmup
+        self._propose_times: dict[tuple[int, int], float] = {}
+        self._first_delivery: set[tuple[int, int]] = set()
+        self._latencies: list[float] = []
+        self._window_delivered = 0
+        self._window_start: Optional[float] = None
+        self._window_end: Optional[float] = None
+        self.proposed = 0
+        for node in cluster.nodes:
+            node.deliver_listeners.append(self._on_deliver)
+
+    # ------------------------------------------------------------------
+
+    def on_propose(self, command: Command) -> None:
+        """Call right before handing the command to the cluster."""
+        self.proposed += 1
+        self._propose_times[command.cid] = self.cluster.loop.now
+
+    def begin_window(self) -> None:
+        """Start the measurement window (end of warm-up)."""
+        self._window_start = self.cluster.loop.now
+
+    def end_window(self) -> None:
+        self._window_end = self.cluster.loop.now
+
+    def _in_window(self, now: float) -> bool:
+        if self._window_start is None or now < self._window_start:
+            return False
+        return self._window_end is None or now <= self._window_end
+
+    def _on_deliver(self, node_id: int, command: Command, now: float) -> None:
+        if command.cid not in self._first_delivery:
+            self._first_delivery.add(command.cid)
+            if self._in_window(now):
+                self._window_delivered += 1
+        if command.proposer == node_id:
+            start = self._propose_times.pop(command.cid, None)
+            if start is not None and self._in_window(now):
+                self._latencies.append(now - start)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def inflight_of(self) -> dict[tuple[int, int], float]:
+        return self._propose_times
+
+    def result(self) -> RunResult:
+        if self._window_start is None:
+            raise RuntimeError("begin_window() was never called")
+        end = (
+            self._window_end
+            if self._window_end is not None
+            else self.cluster.loop.now
+        )
+        duration = max(end - self._window_start, 1e-12)
+        latency = summarize(self._latencies) if self._latencies else None
+        return RunResult(
+            duration=duration,
+            delivered=self._window_delivered,
+            throughput=self._window_delivered / duration,
+            latency=latency,
+            messages_sent=self.cluster.network.messages_sent,
+            bytes_sent=self.cluster.network.bytes_sent,
+            proposed=self.proposed,
+        )

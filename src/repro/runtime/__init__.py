@@ -1,0 +1,13 @@
+"""Asyncio TCP runtime: run the same protocol objects over real sockets.
+
+The sans-I/O design means the protocol classes used by the simulator
+run unmodified here; only the :class:`Env` implementation changes.
+Intended for the examples and small local deployments -- the
+performance evaluation runs under the deterministic simulator.
+"""
+
+from repro.runtime.codec import decode_message, encode_message
+from repro.runtime.node import RuntimeNode
+from repro.runtime.cluster import LocalCluster
+
+__all__ = ["encode_message", "decode_message", "RuntimeNode", "LocalCluster"]

@@ -1,0 +1,61 @@
+"""Convenience wrapper: an in-process cluster of RuntimeNodes on
+localhost ports -- what the examples use to demo the real runtime."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Callable, Optional
+
+from repro.consensus.base import Protocol
+from repro.consensus.commands import Command
+from repro.runtime.node import RuntimeNode
+
+ProtocolFactory = Callable[[int, int], Protocol]
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class LocalCluster:
+    """N runtime nodes on 127.0.0.1, each with its own port."""
+
+    def __init__(self, n_nodes: int, protocol_factory: ProtocolFactory) -> None:
+        ports = [_free_port() for _ in range(n_nodes)]
+        self.peers = {i: ("127.0.0.1", port) for i, port in enumerate(ports)}
+        self.nodes = [
+            RuntimeNode(i, self.peers, protocol_factory(i, n_nodes))
+            for i in range(n_nodes)
+        ]
+
+    async def start(self) -> None:
+        for node in self.nodes:
+            await node.start()
+
+    async def stop(self) -> None:
+        for node in self.nodes:
+            await node.stop()
+
+    def propose(self, node_id: int, command: Command) -> None:
+        self.nodes[node_id].propose(command)
+
+    def delivered(self, node_id: int) -> list[Command]:
+        return list(self.nodes[node_id].delivered)
+
+    async def wait_delivered(
+        self,
+        count: int,
+        node_id: Optional[int] = None,
+        timeout: float = 10.0,
+    ) -> None:
+        """Wait until node(s) delivered at least ``count`` commands."""
+        targets = [node_id] if node_id is not None else range(len(self.nodes))
+
+        async def poll() -> None:
+            while any(len(self.nodes[i].delivered) < count for i in targets):
+                await asyncio.sleep(0.005)
+
+        await asyncio.wait_for(poll(), timeout)

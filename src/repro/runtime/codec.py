@@ -1,0 +1,118 @@
+"""Wire codec: protocol messages <-> length-prefixed JSON frames.
+
+Messages are frozen dataclasses whose fields are built from a small
+vocabulary (ints, strings, bools, Commands, tuples, frozensets, dicts
+with tuple keys).  The codec walks values recursively and tags the
+non-JSON-native shapes, so any current or future message class built
+from that vocabulary serialises without per-class code.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import fields, is_dataclass
+from typing import Any
+
+from repro.consensus import epaxos, genpaxos, mencius, multipaxos, paxos
+from repro.consensus.base import Message
+from repro.consensus.commands import Command
+from repro.core import messages as core_messages
+
+_MESSAGE_CLASSES: dict[str, type] = {}
+
+
+def register_message(cls: type) -> None:
+    """Make ``cls`` decodable; idempotent."""
+    _MESSAGE_CLASSES[cls.__name__] = cls
+
+
+for module in (core_messages, multipaxos, genpaxos, epaxos, paxos, mencius):
+    for name in dir(module):
+        obj = getattr(module, name)
+        if isinstance(obj, type) and issubclass(obj, Message) and obj is not Message:
+            register_message(obj)
+
+
+def _encode_value(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Command):
+        return {
+            "__cmd__": [
+                list(value.cid),
+                sorted(value.ls),
+                value.payload_bytes,
+                value.proposer,
+                value.noop,
+            ]
+        }
+    if isinstance(value, tuple):
+        return {"__tup__": [_encode_value(v) for v in value]}
+    if isinstance(value, (set, frozenset)):
+        return {"__set__": sorted((_encode_value(v) for v in value), key=repr)}
+    if isinstance(value, dict):
+        return {
+            "__map__": [
+                [_encode_value(k), _encode_value(v)] for k, v in value.items()
+            ]
+        }
+    if is_dataclass(value):
+        return {
+            "__obj__": type(value).__name__,
+            "f": {
+                f.name: _encode_value(getattr(value, f.name))
+                for f in fields(value)
+            },
+        }
+    raise TypeError(f"cannot encode {type(value).__name__}: {value!r}")
+
+
+def _decode_value(value: Any) -> Any:
+    if not isinstance(value, (dict, list)):
+        return value
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    if "__cmd__" in value:
+        cid, ls, payload, proposer, noop = value["__cmd__"]
+        return Command(
+            cid=tuple(cid),
+            ls=frozenset(ls),
+            payload_bytes=payload,
+            proposer=proposer,
+            noop=noop,
+        )
+    if "__tup__" in value:
+        return tuple(_decode_value(v) for v in value["__tup__"])
+    if "__set__" in value:
+        return frozenset(_decode_value(v) for v in value["__set__"])
+    if "__map__" in value:
+        return {
+            _decode_value(k): _decode_value(v) for k, v in value["__map__"]
+        }
+    if "__obj__" in value:
+        cls = _MESSAGE_CLASSES[value["__obj__"]]
+        kwargs = {name: _decode_value(v) for name, v in value["f"].items()}
+        return cls(**kwargs)
+    return {k: _decode_value(v) for k, v in value.items()}
+
+
+def encode_message(sender: int, message: Message) -> bytes:
+    """One length-prefixed frame: 4-byte big-endian size + JSON."""
+    payload = json.dumps(
+        {"s": sender, "m": _encode_value(message)}, separators=(",", ":")
+    ).encode()
+    return struct.pack(">I", len(payload)) + payload
+
+
+def decode_message(payload: bytes) -> tuple[int, Message]:
+    """Inverse of :func:`encode_message` (without the length prefix)."""
+    data = json.loads(payload.decode())
+    message = _decode_value(data["m"])
+    if not isinstance(message, Message):
+        raise ValueError(f"decoded object is not a Message: {message!r}")
+    return data["s"], message
+
+
+FRAME_HEADER = struct.Struct(">I")
+MAX_FRAME = 16 * 1024 * 1024

@@ -1,0 +1,167 @@
+"""One live node: TCP server + peer connections + asyncio Env.
+
+The protocol object is single-threaded by construction: every inbound
+frame, timer, and proposal is dispatched on the event loop, so no locks
+are needed -- the same execution model as the simulator.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Awaitable, Callable, Optional
+
+from repro.consensus.base import Env, Message, Protocol, TimerHandle
+from repro.consensus.commands import Command
+from repro.runtime.codec import (
+    FRAME_HEADER,
+    MAX_FRAME,
+    decode_message,
+    encode_message,
+)
+
+Address = tuple[str, int]
+
+
+class _AsyncTimer(TimerHandle):
+    __slots__ = ("_handle",)
+
+    def __init__(self, handle: asyncio.TimerHandle) -> None:
+        self._handle = handle
+
+    def cancel(self) -> None:
+        self._handle.cancel()
+
+
+class RuntimeEnv(Env):
+    """Env implementation over asyncio."""
+
+    def __init__(self, node: "RuntimeNode") -> None:
+        self._node = node
+        self.node_id = node.node_id
+        self.n_nodes = len(node.peers)
+        self._rng = random.Random(node.node_id * 7919 + 17)
+
+    def send(self, dst: int, message: Message) -> None:
+        self._node.send(dst, message)
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        loop = asyncio.get_running_loop()
+        return _AsyncTimer(loop.call_later(delay, callback))
+
+    def now(self) -> float:
+        return asyncio.get_running_loop().time()
+
+    def deliver(self, command: Command) -> None:
+        self._node.delivered.append(command)
+        for listener in self._node.deliver_listeners:
+            listener(self.node_id, command)
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+
+class RuntimeNode:
+    """Hosts one protocol instance on a real TCP endpoint."""
+
+    def __init__(
+        self,
+        node_id: int,
+        peers: dict[int, Address],
+        protocol: Protocol,
+    ) -> None:
+        if node_id not in peers:
+            raise ValueError("peers must include this node's own address")
+        self.node_id = node_id
+        self.peers = peers
+        self.protocol = protocol
+        self.delivered: list[Command] = []
+        self.deliver_listeners: list[Callable[[int, Command], None]] = []
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._connecting: dict[int, asyncio.Lock] = {}
+        self._closed = False
+
+        self.env = RuntimeEnv(self)
+        protocol.bind(self.env)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        host, port = self.peers[self.node_id]
+        self._server = await asyncio.start_server(self._on_connection, host, port)
+        self.protocol.on_start()
+
+    async def stop(self) -> None:
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+
+    # ------------------------------------------------------------------
+    # Outbound
+    # ------------------------------------------------------------------
+
+    def propose(self, command: Command) -> None:
+        self.protocol.propose(command)
+
+    def send(self, dst: int, message: Message) -> None:
+        if dst == self.node_id:
+            # Local loopback: dispatch on the next loop tick so handlers
+            # never re-enter the protocol synchronously.
+            loop = asyncio.get_running_loop()
+            loop.call_soon(self._dispatch, self.node_id, message)
+            return
+        frame = encode_message(self.node_id, message)
+        writer = self._writers.get(dst)
+        if writer is not None and not writer.is_closing():
+            writer.write(frame)
+            return
+        asyncio.ensure_future(self._connect_and_send(dst, frame))
+
+    async def _connect_and_send(self, dst: int, frame: bytes) -> None:
+        lock = self._connecting.setdefault(dst, asyncio.Lock())
+        async with lock:
+            writer = self._writers.get(dst)
+            if writer is None or writer.is_closing():
+                host, port = self.peers[dst]
+                try:
+                    _reader, writer = await asyncio.open_connection(host, port)
+                except OSError:
+                    return  # peer down; retries ride on protocol timers
+                self._writers[dst] = writer
+            writer.write(frame)
+
+    # ------------------------------------------------------------------
+    # Inbound
+    # ------------------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self._closed:
+                header = await reader.readexactly(FRAME_HEADER.size)
+                (size,) = FRAME_HEADER.unpack(header)
+                if size > MAX_FRAME:
+                    raise ValueError(f"oversized frame: {size}")
+                payload = await reader.readexactly(size)
+                sender, message = decode_message(payload)
+                self._dispatch(sender, message)
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass
+        except asyncio.CancelledError:
+            # Server shut down while this handler was awaiting a frame.
+            pass
+        finally:
+            writer.close()
+
+    def _dispatch(self, sender: int, message: Message) -> None:
+        if not self._closed:
+            self.protocol.on_message(sender, message)

@@ -1,0 +1,166 @@
+"""Simulated node: hosts a protocol, charges CPU time, keeps timers.
+
+The node is the glue between the sans-I/O protocol object and the
+simulation substrate.  Every inbound event (message, propose, timer)
+passes through the node's :class:`repro.sim.cpu.CpuModel`, so protocol
+handlers *complete* only after their simulated CPU cost has been paid --
+this is what creates the saturation behaviour the paper's throughput
+figures measure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.consensus.base import Env, Message, Protocol, TimerHandle
+from repro.consensus.commands import Command
+from repro.sim.cpu import CpuConfig, CpuModel
+from repro.sim.event_loop import Event, EventLoop
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+
+
+class _SimTimer(TimerHandle):
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancel()
+
+
+class SimEnv(Env):
+    """The :class:`Env` implementation backed by the simulator."""
+
+    def __init__(self, node: "SimNode") -> None:
+        self._node = node
+        self.node_id = node.node_id
+        self.n_nodes = node.network.n_nodes
+
+    def send(self, dst: int, message: Message) -> None:
+        node = self._node
+        # Sending costs CPU (serialisation + syscall); batching amortises
+        # it.  The cost occupies the sender's cores but does not delay the
+        # message itself (the NIC drains asynchronously).
+        cost = node.protocol.costs.send_cost
+        if node.network.config.batching:
+            cost /= node.network.config.batch_factor
+        if cost > 0:
+            node.cpu.submit(node.loop.now, cost, 0.0)
+        node.network.send(self.node_id, dst, message, message.size_bytes())
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        node = self._node
+
+        def fire() -> None:
+            if not node.crashed:
+                callback()
+
+        return _SimTimer(node.loop.schedule(delay, fire))
+
+    def now(self) -> float:
+        return self._node.loop.now
+
+    def deliver(self, command: Command) -> None:
+        self._node.on_deliver(command)
+
+    @property
+    def rng(self) -> random.Random:
+        return self._node.rng
+
+
+class SimNode:
+    """One simulated machine running one protocol instance."""
+
+    def __init__(
+        self,
+        node_id: int,
+        loop: EventLoop,
+        network: Network,
+        protocol: Protocol,
+        rng: RngRegistry,
+        cpu_config: Optional[CpuConfig] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.loop = loop
+        self.network = network
+        self.protocol = protocol
+        self.rng = rng.stream(f"node-{node_id}")
+        self.cpu = CpuModel(cpu_config or CpuConfig())
+        self.crashed = False
+        self.delivered: list[Command] = []
+        self.deliver_listeners: list[Callable[[int, Command, float], None]] = []
+
+        self.env = SimEnv(self)
+        protocol.bind(self.env)
+        network.register(node_id, self._on_network_message)
+
+    def start(self) -> None:
+        """Run the protocol's startup hook (leader election etc.)."""
+        self.protocol.on_start()
+
+    # ------------------------------------------------------------------
+    # Inbound events -- all charged to the CPU model.
+    # ------------------------------------------------------------------
+
+    def _charge_and_run(self, message: Optional[Message], fn: Callable[[], None]) -> None:
+        cost, serial = self.protocol.processing_cost(message)
+        done = self.cpu.submit(self.loop.now, cost, serial)
+        if done <= self.loop.now:
+            fn()
+        else:
+            self.loop.schedule_at(done, fn)
+
+    def _on_network_message(self, sender: int, message: object, size: int) -> None:
+        if self.crashed:
+            return
+        assert isinstance(message, Message)
+        occupancy, occupancy_serial = self.protocol.occupancy_cost(message)
+        if occupancy > 0:
+            self.cpu.submit(self.loop.now, occupancy, occupancy_serial)
+
+        def handle() -> None:
+            if not self.crashed:
+                self.protocol.on_message(sender, message)
+
+        self._charge_and_run(message, handle)
+
+    def propose(self, command: Command) -> None:
+        """Client-side C-PROPOSE entry point.
+
+        The per-command client-handling cost is charged as occupancy
+        (it loads the cores, creating the throughput ceiling, without
+        sitting on the latency-critical path); the protocol handler
+        itself is charged like a message.
+        """
+        if self.crashed:
+            return
+        costs = self.protocol.costs
+        if costs.propose_cost > 0:
+            self.cpu.submit(
+                self.loop.now, costs.propose_cost, costs.propose_serial_fraction
+            )
+
+        def handle() -> None:
+            if not self.crashed:
+                self.protocol.propose(command)
+
+        self._charge_and_run(None, handle)
+
+    # ------------------------------------------------------------------
+    # Delivery and failure injection
+    # ------------------------------------------------------------------
+
+    def on_deliver(self, command: Command) -> None:
+        self.delivered.append(command)
+        now = self.loop.now
+        for listener in self.deliver_listeners:
+            listener(self.node_id, command, now)
+
+    def crash(self) -> None:
+        """Crash this node: no more sends, receives, or timer firings."""
+        self.crashed = True
+        self.network.crash(self.node_id)
+        self.protocol.crash()

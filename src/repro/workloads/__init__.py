@@ -1,0 +1,15 @@
+"""Workload generators and the open-loop client model of the paper's
+evaluation (Section VI)."""
+
+from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
+from repro.workloads.tpcc import TpccConfig, TpccWorkload
+from repro.workloads.client import ClientConfig, OpenLoopClients
+
+__all__ = [
+    "SyntheticConfig",
+    "SyntheticWorkload",
+    "TpccConfig",
+    "TpccWorkload",
+    "ClientConfig",
+    "OpenLoopClients",
+]

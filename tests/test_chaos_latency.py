@@ -1,0 +1,57 @@
+"""High-jitter (heavily reordering) network chaos tests.
+
+Links are FIFO individually, but with one-way delays spread over 50x,
+messages between different node pairs interleave almost arbitrarily --
+the asynchronous-network model of the paper's Section III.
+"""
+
+import pytest
+
+from repro.core.protocol import M2Paxos, M2PaxosConfig
+from repro.sim.latency import UniformLatency
+from repro.sim.network import NetworkConfig
+
+from tests.conftest import (
+    PROTOCOL_FACTORIES,
+    assert_all_delivered,
+    make_cluster,
+    run_workload,
+)
+
+CHAOS = NetworkConfig(latency=UniformLatency(100e-6, 5e-3))
+
+
+class TestM2PaxosUnderJitter:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mixed_contention(self, seed):
+        config = M2PaxosConfig(gap_timeout=0.3, gap_check_period=0.15)
+        cluster = make_cluster(
+            lambda i, n: M2Paxos(config), n_nodes=5, seed=seed, network=CHAOS
+        )
+        proposed = run_workload(
+            cluster,
+            6,
+            lambda rng, node, r: (
+                [rng.choice("abc")] if rng.random() < 0.5 else rng.sample("abc", 2)
+            ),
+            spacing=0.004,
+            settle=40.0,
+            seed=seed,
+        )
+        assert_all_delivered(cluster, proposed)
+
+
+class TestAllProtocolsUnderJitter:
+    @pytest.mark.parametrize("name", sorted(PROTOCOL_FACTORIES))
+    def test_partitioned_workload(self, name):
+        cluster = make_cluster(
+            PROTOCOL_FACTORIES[name], n_nodes=5, seed=3, network=CHAOS
+        )
+        proposed = run_workload(
+            cluster,
+            5,
+            lambda rng, node, r: [f"o{node}"],
+            spacing=0.01,
+            settle=30.0,
+        )
+        assert_all_delivered(cluster, proposed)

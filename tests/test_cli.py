@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_run_single_point(self, capsys):
+        code = main(
+            [
+                "run",
+                "--protocol",
+                "m2paxos",
+                "--nodes",
+                "3",
+                "--duration",
+                "0.05",
+                "--warmup",
+                "0.05",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "m2paxos" in out
+        assert "throughput" in out
+
+    def test_run_tpcc(self, capsys):
+        code = main(
+            [
+                "run",
+                "--protocol",
+                "multipaxos",
+                "--workload",
+                "tpcc",
+                "--nodes",
+                "3",
+                "--duration",
+                "0.05",
+                "--warmup",
+                "0.05",
+            ]
+        )
+        assert code == 0
+        assert "tpcc" in capsys.readouterr().out
+
+    def test_modelcheck(self, capsys):
+        code = main(["modelcheck", "--ballots", "1"])
+        assert code == 0
+        assert "no violation" in capsys.readouterr().out
+
+    def test_modelcheck_bounded(self, capsys):
+        code = main(["modelcheck", "--ballots", "1", "--max-states", "50"])
+        assert code == 0
+        assert "bounded" in capsys.readouterr().out
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--protocol", "raft"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

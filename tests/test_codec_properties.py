@@ -1,0 +1,91 @@
+"""Property-based round-trip tests for the runtime codec."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.consensus.commands import Command
+from repro.core.messages import Accept, AckAccept, AckPrepare, Prepare
+from repro.runtime.codec import decode_message, encode_message, FRAME_HEADER
+
+
+def roundtrip(message, sender=0):
+    frame = encode_message(sender, message)
+    got_sender, got = decode_message(frame[FRAME_HEADER.size:])
+    assert got_sender == sender
+    return got
+
+
+objects = st.sampled_from(["a", "b", "c", "dd", "w3.s17"])
+commands = st.builds(
+    lambda p, s, objs, payload, noop: Command(
+        cid=(p, s),
+        ls=frozenset(objs),
+        payload_bytes=payload,
+        proposer=p,
+        noop=noop,
+    ),
+    st.integers(0, 10),
+    st.integers(-100, 10_000),
+    st.sets(objects, min_size=1, max_size=3),
+    st.integers(0, 256),
+    st.booleans(),
+)
+instances = st.tuples(objects, st.integers(1, 1000))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    req=st.integers(0, 2**31),
+    to_decide=st.dictionaries(instances, commands, min_size=1, max_size=4),
+    scoped=st.booleans(),
+)
+def test_accept_roundtrip(req, to_decide, scoped):
+    eps = {inst: 3 for inst in to_decide}
+    cmd_ins = {
+        cmd.cid: tuple(sorted(to_decide)) for cmd in to_decide.values()
+    }
+    msg = Accept(req=req, to_decide=to_decide, eps=eps, cmd_ins=cmd_ins, scoped=scoped)
+    assert roundtrip(msg) == msg
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    req=st.integers(0, 2**31),
+    eps=st.dictionaries(instances, st.integers(0, 2**20), min_size=1, max_size=4),
+    scoped=st.booleans(),
+)
+def test_prepare_roundtrip(req, eps, scoped):
+    msg = Prepare(req=req, eps=eps, scoped=scoped)
+    assert roundtrip(msg) == msg
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ok=st.booleans(),
+    decs=st.dictionaries(
+        instances,
+        st.tuples(
+            st.one_of(st.none(), commands),
+            st.integers(0, 2**20),
+            st.lists(instances, max_size=3).map(tuple),
+        ),
+        max_size=4,
+    ),
+)
+def test_ack_prepare_roundtrip(ok, decs):
+    msg = AckPrepare(req=1, ok=ok, decs=decs)
+    assert roundtrip(msg) == msg
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    cids=st.dictionaries(
+        instances, st.tuples(st.integers(0, 10), st.integers(-50, 50)), max_size=4
+    ),
+    max_rnd=st.integers(0, 2**20),
+)
+def test_ack_accept_roundtrip(cids, max_rnd):
+    eps = {inst: 1 for inst in cids}
+    msg = AckAccept(
+        req=2, coordinator=1, ok=bool(max_rnd % 2), cids=cids, eps=eps, max_rnd=max_rnd
+    )
+    assert roundtrip(msg) == msg

@@ -1,0 +1,126 @@
+"""Unit tests for commands, conflicts, C-structs, and no-ops."""
+
+import pytest
+
+from repro.consensus.commands import Command, CStruct, conflict, make_noop
+
+
+def cmd(proposer, seq, objs, **kwargs):
+    return Command.make(proposer, seq, objs, **kwargs)
+
+
+class TestCommand:
+    def test_conflict_iff_shared_object(self):
+        a = cmd(0, 0, ["x", "y"])
+        b = cmd(1, 0, ["y", "z"])
+        c = cmd(2, 0, ["w"])
+        assert a.conflicts(b)
+        assert not a.conflicts(c)
+        assert conflict(a, b)
+
+    def test_conflict_is_symmetric(self):
+        a = cmd(0, 0, ["x"])
+        b = cmd(1, 0, ["x"])
+        assert a.conflicts(b) == b.conflicts(a)
+
+    def test_empty_ls_rejected(self):
+        with pytest.raises(ValueError):
+            Command(cid=(0, 0), ls=frozenset())
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            cmd(0, 0, ["x"], payload_bytes=-1)
+
+    def test_size_grows_with_objects_and_payload(self):
+        small = cmd(0, 0, ["x"], payload_bytes=16)
+        more_objects = cmd(0, 1, ["x", "y", "z"], payload_bytes=16)
+        bigger_payload = cmd(0, 2, ["x"], payload_bytes=160)
+        assert more_objects.size_bytes() > small.size_bytes()
+        assert bigger_payload.size_bytes() > small.size_bytes()
+
+    def test_hashable_and_equal_by_value(self):
+        a = cmd(0, 0, ["x"])
+        b = cmd(0, 0, ["x"])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_make_sets_proposer(self):
+        c = cmd(3, 7, ["x"])
+        assert c.proposer == 3
+        assert c.cid == (3, 7)
+
+
+class TestNoop:
+    def test_noop_flags_and_single_object(self):
+        noop = make_noop("x", node_id=2, seq=5)
+        assert noop.noop
+        assert noop.ls == frozenset({"x"})
+        assert noop.payload_bytes == 0
+
+    def test_noop_ids_disjoint_from_real_commands(self):
+        noop = make_noop("x", node_id=2, seq=0)
+        real = cmd(2, 0, ["x"])
+        assert noop.cid != real.cid
+        assert noop.cid[1] < 0
+
+    def test_distinct_noops_have_distinct_ids(self):
+        assert make_noop("x", 1, 1).cid != make_noop("x", 1, 2).cid
+
+
+class TestCStruct:
+    def test_append_and_membership(self):
+        cs = CStruct()
+        a = cmd(0, 0, ["x"])
+        cs.append(a)
+        assert a in cs
+        assert len(cs) == 1
+
+    def test_duplicate_append_rejected(self):
+        cs = CStruct()
+        a = cmd(0, 0, ["x"])
+        cs.append(a)
+        with pytest.raises(ValueError):
+            cs.append(a)
+
+    def test_restricted_to_preserves_order(self):
+        cs = CStruct()
+        a = cmd(0, 0, ["x"])
+        b = cmd(0, 1, ["y"])
+        c = cmd(0, 2, ["x", "y"])
+        for command in (a, b, c):
+            cs.append(command)
+        assert cs.restricted_to("x") == [a, c]
+        assert cs.restricted_to("y") == [b, c]
+
+    def test_compatible_when_commuting_reordered(self):
+        a = cmd(0, 0, ["x"])
+        b = cmd(1, 0, ["y"])
+        cs1, cs2 = CStruct(), CStruct()
+        cs1.append(a)
+        cs1.append(b)
+        cs2.append(b)
+        cs2.append(a)
+        assert cs1.is_prefix_compatible(cs2)
+
+    def test_incompatible_when_conflicting_reordered(self):
+        a = cmd(0, 0, ["x"])
+        b = cmd(1, 0, ["x"])
+        cs1, cs2 = CStruct(), CStruct()
+        cs1.append(a)
+        cs1.append(b)
+        cs2.append(b)
+        cs2.append(a)
+        assert not cs1.is_prefix_compatible(cs2)
+
+    def test_prefix_is_compatible(self):
+        a = cmd(0, 0, ["x"])
+        b = cmd(1, 0, ["x"])
+        cs1, cs2 = CStruct(), CStruct()
+        cs1.append(a)
+        cs2.append(a)
+        cs2.append(b)
+        assert cs1.is_prefix_compatible(cs2)
+        assert cs2.is_prefix_compatible(cs1)
+
+    def test_empty_cstructs_compatible(self):
+        assert CStruct().is_prefix_compatible(CStruct())

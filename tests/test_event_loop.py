@@ -1,0 +1,154 @@
+"""Unit tests for the discrete-event loop."""
+
+import pytest
+
+from repro.sim.event_loop import EventLoop
+
+
+def test_runs_in_time_order():
+    loop = EventLoop()
+    seen = []
+    loop.schedule(0.3, lambda: seen.append("c"))
+    loop.schedule(0.1, lambda: seen.append("a"))
+    loop.schedule(0.2, lambda: seen.append("b"))
+    loop.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_fifo_tie_break_at_same_instant():
+    loop = EventLoop()
+    seen = []
+    for i in range(10):
+        loop.schedule(0.5, lambda i=i: seen.append(i))
+    loop.run()
+    assert seen == list(range(10))
+
+
+def test_now_advances_to_event_time():
+    loop = EventLoop()
+    times = []
+    loop.schedule(1.5, lambda: times.append(loop.now))
+    loop.schedule(2.5, lambda: times.append(loop.now))
+    loop.run()
+    assert times == [1.5, 2.5]
+
+
+def test_zero_delay_runs_after_current_instant_events():
+    loop = EventLoop()
+    seen = []
+
+    def first():
+        seen.append("first")
+        loop.schedule(0.0, lambda: seen.append("nested"))
+
+    loop.schedule(0.0, first)
+    loop.schedule(0.0, lambda: seen.append("second"))
+    loop.run()
+    assert seen == ["first", "second", "nested"]
+
+
+def test_negative_delay_rejected():
+    loop = EventLoop()
+    with pytest.raises(ValueError):
+        loop.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    loop = EventLoop()
+    loop.schedule(1.0, lambda: None)
+    loop.run()
+    with pytest.raises(ValueError):
+        loop.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_event_does_not_run():
+    loop = EventLoop()
+    seen = []
+    event = loop.schedule(0.1, lambda: seen.append("cancelled"))
+    loop.schedule(0.2, lambda: seen.append("kept"))
+    event.cancel()
+    loop.run()
+    assert seen == ["kept"]
+
+
+def test_cancel_is_idempotent():
+    loop = EventLoop()
+    event = loop.schedule(0.1, lambda: None)
+    event.cancel()
+    event.cancel()
+    loop.run()
+
+
+def test_run_until_stops_at_deadline():
+    loop = EventLoop()
+    seen = []
+    loop.schedule(1.0, lambda: seen.append(1))
+    loop.schedule(2.0, lambda: seen.append(2))
+    loop.run_until(1.5)
+    assert seen == [1]
+    assert loop.now == 1.5
+    loop.run_until(3.0)
+    assert seen == [1, 2]
+
+
+def test_run_until_advances_clock_even_when_idle():
+    loop = EventLoop()
+    loop.run_until(5.0)
+    assert loop.now == 5.0
+
+
+def test_stop_interrupts_run():
+    loop = EventLoop()
+    seen = []
+    loop.schedule(0.1, lambda: (seen.append(1), loop.stop()))
+    loop.schedule(0.2, lambda: seen.append(2))
+    loop.run()
+    assert seen == [(1, None)] or seen[0] is not None  # stop fired
+    assert len(seen) == 1
+    loop.run()  # resumes
+    assert len(seen) == 2
+
+
+def test_max_events_bound():
+    loop = EventLoop()
+    seen = []
+    for i in range(5):
+        loop.schedule(0.1 * (i + 1), lambda i=i: seen.append(i))
+    loop.run(max_events=2)
+    assert seen == [0, 1]
+
+
+def test_pending_counts_only_live_events():
+    loop = EventLoop()
+    live = loop.schedule(1.0, lambda: None)
+    dead = loop.schedule(2.0, lambda: None)
+    dead.cancel()
+    assert loop.pending() == 1
+    live.cancel()
+    assert loop.pending() == 0
+
+
+def test_events_scheduled_during_run_execute():
+    loop = EventLoop()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 5:
+            loop.schedule(0.1, lambda: chain(n + 1))
+
+    loop.schedule(0.0, lambda: chain(0))
+    loop.run()
+    assert seen == [0, 1, 2, 3, 4, 5]
+
+
+def test_determinism_across_runs():
+    def trace():
+        loop = EventLoop()
+        seen = []
+        for i in range(50):
+            loop.schedule((i * 7919 % 13) / 10.0, lambda i=i: seen.append(i))
+        loop.run()
+        return seen
+
+    assert trace() == trace()

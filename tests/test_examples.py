@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public surface; a broken example is a broken
+deliverable.  The TCP example is exercised by the runtime tests, and
+the benchmark-grade examples are capped here by running their mains in
+process (they finish in seconds under the simulator).
+"""
+
+import runpy
+import sys
+
+import pytest
+
+FAST_EXAMPLES = [
+    "examples/quickstart.py",
+    "examples/bank_ledger.py",
+    "examples/fault_tolerance.py",
+    "examples/adaptive_switching.py",
+    "examples/geo_replication.py",
+]
+
+
+@pytest.mark.parametrize("path", FAST_EXAMPLES)
+def test_example_runs(path, capsys):
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()  # every example narrates what it showed
+
+
+def test_live_tcp_example_runs(capsys):
+    if sys.platform.startswith("win"):
+        pytest.skip("localhost sockets assumed POSIX-like")
+    runpy.run_path("examples/live_tcp_cluster.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "all replicas agree : True" in out

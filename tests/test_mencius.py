@@ -1,0 +1,86 @@
+"""Tests for the simplified Mencius baseline."""
+
+from repro.consensus.commands import Command
+from repro.consensus.mencius import Mencius, MenciusConfig
+from repro.sim.latency import UniformLatency
+from repro.sim.network import NetworkConfig
+
+from tests.conftest import assert_all_delivered, make_cluster, run_workload
+
+
+def mn(config=None):
+    return lambda node_id, n: Mencius(config)
+
+
+class TestOrdering:
+    def test_single_proposer_with_skips(self):
+        cluster = make_cluster(mn(), n_nodes=3, seed=1)
+        for seq in range(5):
+            cluster.propose(1, Command.make(1, seq, ["x"]))
+        cluster.run_for(2.0)
+        cluster.check_consistency()
+        # Other nodes' empty slots were skipped so delivery advanced.
+        for node in range(3):
+            assert [c.cid for c in cluster.delivered(node)] == [
+                (1, s) for s in range(5)
+            ]
+        assert cluster.nodes[0].protocol.stats["skips"] > 0
+
+    def test_all_proposers_total_order(self):
+        cluster = make_cluster(mn(), n_nodes=5, seed=2)
+        proposed = run_workload(
+            cluster, 8, lambda rng, node, r: ["hot"], spacing=0.01, settle=5.0
+        )
+        assert_all_delivered(cluster, proposed)
+        orders = {tuple(c.cid for c in cluster.delivered(i)) for i in range(5)}
+        assert len(orders) == 1  # global slot order is total
+
+    def test_slots_partitioned_round_robin(self):
+        cluster = make_cluster(mn(), n_nodes=3, seed=3)
+        cluster.propose(2, Command.make(2, 0, ["x"]))
+        cluster.run_for(1.0)
+        protocol = cluster.nodes[0].protocol
+        decided_slots = [
+            slot for slot, value in protocol.decided.items() if value is not None
+        ]
+        assert decided_slots and all(slot % 3 == 2 for slot in decided_slots)
+
+    def test_own_slot_two_delay_latency(self):
+        latency = 0.01
+        cluster = make_cluster(
+            mn(),
+            n_nodes=3,
+            seed=4,
+            network=NetworkConfig(latency=UniformLatency(latency, latency)),
+        )
+        times = {}
+        for node in cluster.nodes:
+            node.deliver_listeners.append(
+                lambda nid, c, t: times.setdefault((nid, c.cid), t)
+            )
+        # Slot 0 belongs to node 0: no skips needed ahead of it.
+        t0 = cluster.loop.now
+        cluster.propose(0, Command.make(0, 0, ["x"]))
+        cluster.run_for(1.0)
+        elapsed = times[(0, (0, 0))] - t0
+        assert 2 * latency <= elapsed < 3 * latency
+
+    def test_interleaved_proposers_preserve_slot_order(self):
+        cluster = make_cluster(mn(), n_nodes=3, seed=5)
+        for seq in range(6):
+            cluster.propose(seq % 3, Command.make(seq % 3, seq, ["k"]))
+            cluster.run_for(0.02)
+        cluster.run_for(2.0)
+        cluster.check_consistency()
+        assert len(cluster.delivered(0)) == 6
+
+    def test_foreign_slot_proposal_rejected(self):
+        import pytest
+
+        cluster = make_cluster(mn(), n_nodes=3, seed=6)
+        protocol = cluster.nodes[1].protocol
+        from repro.consensus.mencius import MnAccept
+
+        with pytest.raises(AssertionError):
+            # Node 0 claiming slot 1 (owned by node 1) must be caught.
+            protocol.on_message(0, MnAccept(slot=1, command=Command.make(0, 0, ["x"])))

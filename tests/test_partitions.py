@@ -1,0 +1,99 @@
+"""Network-partition fault injection across protocols.
+
+The safety obligation under partitions is absolute (no divergent
+decisions on either side); liveness belongs only to the majority side,
+and must resume for everyone once the partition heals.
+"""
+
+import pytest
+
+from repro.consensus.commands import Command
+from repro.consensus.multipaxos import MultiPaxos, MultiPaxosConfig
+from repro.core.protocol import M2Paxos, M2PaxosConfig
+
+from tests.conftest import make_cluster
+
+
+class TestM2PaxosPartitions:
+    def config(self):
+        return M2PaxosConfig(
+            forward_timeout=0.1, gap_timeout=0.2, gap_check_period=0.1
+        )
+
+    def test_minority_side_cannot_decide(self):
+        cluster = make_cluster(
+            lambda i, n: M2Paxos(self.config()), n_nodes=5, seed=1
+        )
+        cluster.partition({0, 1}, {2, 3, 4})
+        cluster.propose(0, Command.make(0, 0, ["x"]))
+        cluster.run_for(3.0)
+        cluster.check_consistency()
+        assert len(cluster.delivered(0)) == 0
+        assert len(cluster.delivered(1)) == 0
+
+    def test_majority_side_keeps_deciding(self):
+        cluster = make_cluster(
+            lambda i, n: M2Paxos(self.config()), n_nodes=5, seed=2
+        )
+        cluster.partition({0, 1}, {2, 3, 4})
+        cluster.propose(2, Command.make(2, 0, ["y"]))
+        cluster.run_for(3.0)
+        cluster.check_consistency()
+        for node in (2, 3, 4):
+            assert len(cluster.delivered(node)) == 1
+
+    def test_heal_delivers_minority_proposal_everywhere(self):
+        cluster = make_cluster(
+            lambda i, n: M2Paxos(self.config()), n_nodes=5, seed=3
+        )
+        cluster.partition({0, 1}, {2, 3, 4})
+        blocked = Command.make(0, 0, ["x"])
+        cluster.propose(0, blocked)
+        majority = Command.make(2, 0, ["x"])
+        cluster.propose(2, majority)
+        cluster.run_for(2.0)
+        cluster.heal_partitions()
+        cluster.run_for(10.0)
+        cluster.check_consistency()
+        for node in range(5):
+            cids = {c.cid for c in cluster.delivered(node)}
+            assert cids == {blocked.cid, majority.cid}, node
+
+    def test_ownership_survives_partition_of_owner(self):
+        cluster = make_cluster(
+            lambda i, n: M2Paxos(self.config()), n_nodes=5, seed=4
+        )
+        cluster.propose(0, Command.make(0, 0, ["x"]))
+        cluster.run_for(1.0)
+        # Cut the owner off; a majority-side node takes the object over.
+        cluster.partition({0}, {1, 2, 3, 4})
+        cluster.propose(1, Command.make(1, 0, ["x"]))
+        cluster.run_for(5.0)
+        cluster.check_consistency()
+        assert any(c.cid == (1, 0) for c in cluster.delivered(2))
+        # Heal: the old owner learns it was dethroned and catches up.
+        cluster.heal_partitions()
+        cluster.propose(0, Command.make(0, 99, ["x"]))
+        cluster.run_for(10.0)
+        cluster.check_consistency()
+        cids = {c.cid for c in cluster.delivered(0)}
+        assert {(0, 0), (1, 0), (0, 99)} <= cids
+
+
+class TestMultiPaxosPartitions:
+    def test_leader_partitioned_majority_elects(self):
+        config = MultiPaxosConfig(leader_timeout=0.15)
+        cluster = make_cluster(
+            lambda i, n: MultiPaxos(config), n_nodes=5, seed=5
+        )
+        cluster.propose(0, Command.make(0, 0, ["x"]))
+        cluster.run_for(1.0)
+        cluster.partition({0}, {1, 2, 3, 4})
+        cluster.propose(1, Command.make(1, 0, ["x"]))
+        cluster.run_for(5.0)
+        cluster.check_consistency()
+        assert any(c.cid == (1, 0) for c in cluster.delivered(1))
+        # No split brain: the old leader decided nothing alone.
+        assert all(
+            c.cid in {(0, 0)} for c in cluster.delivered(0)
+        )

@@ -1,0 +1,114 @@
+"""Tests for ownership policies (the Section IV-C orthogonal knob)."""
+
+import pytest
+
+from repro.consensus.commands import Command
+from repro.core.policy import (
+    ACQUIRE,
+    FORWARD,
+    OnDemandPolicy,
+    StickyPolicy,
+)
+from repro.core.protocol import M2Paxos, M2PaxosConfig
+
+from tests.conftest import assert_all_delivered, make_cluster, run_workload
+
+
+class TestOnDemand:
+    def test_always_acquires(self):
+        policy = OnDemandPolicy()
+        command = Command.make(0, 0, ["a", "b"])
+        action, target = policy.decide(0, command, {"a": 1, "b": 2})
+        assert action == ACQUIRE and target is None
+
+
+class TestSticky:
+    def test_forwards_to_majority_owner_when_cold(self):
+        policy = StickyPolicy(threshold=3)
+        command = Command.make(0, 0, ["a", "b", "c"])
+        action, target = policy.decide(
+            0, command, {"a": 2, "b": 2, "c": 1}
+        )
+        assert (action, target) == (FORWARD, 2)
+
+    def test_acquires_after_threshold_requests(self):
+        policy = StickyPolicy(threshold=2)
+        command = Command.make(0, 0, ["a"])
+        policy.on_local_request(0, command)
+        action, _ = policy.decide(0, command, {"a": 2})
+        assert action == FORWARD  # one request: not hot enough
+        policy.on_local_request(0, command)
+        action, _ = policy.decide(0, command, {"a": 2})
+        assert action == ACQUIRE  # earned the migration
+
+    def test_acquires_when_nothing_owned(self):
+        policy = StickyPolicy(threshold=5)
+        command = Command.make(0, 0, ["a", "b"])
+        action, _ = policy.decide(0, command, {"a": None, "b": None})
+        assert action == ACQUIRE
+
+    def test_acquires_when_self_holds_majority(self):
+        policy = StickyPolicy(threshold=5)
+        command = Command.make(1, 0, ["a", "b", "c"])
+        action, _ = policy.decide(1, command, {"a": 1, "b": 1, "c": 0})
+        assert action == ACQUIRE
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            StickyPolicy(threshold=0)
+
+
+class TestPolicyInProtocol:
+    def test_sticky_policy_end_to_end(self):
+        # Commands spanning two nodes' objects: sticky forwarding must
+        # still deliver everything consistently.
+        def factory(node_id, n):
+            return M2Paxos(
+                M2PaxosConfig(
+                    policy=StickyPolicy(threshold=3),
+                    gap_timeout=0.2,
+                    gap_check_period=0.1,
+                )
+            )
+
+        cluster = make_cluster(factory, n_nodes=3, seed=5)
+        proposed = run_workload(
+            cluster,
+            10,
+            lambda rng, node, r: [f"o{node}", f"o{(node + 1) % 3}"],
+            spacing=0.005,
+            settle=25.0,
+        )
+        assert_all_delivered(cluster, proposed)
+
+    def test_sticky_reduces_acquisitions_vs_on_demand(self):
+        # Single hot object proposed by everyone: with sticky forwarding,
+        # non-owners route to the current owner instead of stealing.
+        def run(policy_factory):
+            cluster = make_cluster(
+                lambda i, n: M2Paxos(
+                    M2PaxosConfig(
+                        policy=policy_factory(),
+                        gap_timeout=0.2,
+                        gap_check_period=0.1,
+                    )
+                ),
+                n_nodes=3,
+                seed=6,
+            )
+            proposed = run_workload(
+                cluster,
+                12,
+                lambda rng, node, r: ["hot", f"side{node}"],
+                spacing=0.01,
+                settle=25.0,
+            )
+            assert_all_delivered(cluster, proposed)
+            return sum(
+                cluster.nodes[i].protocol.stats["acquisitions"]
+                for i in range(3)
+            )
+
+        on_demand = run(OnDemandPolicy)
+        sticky = run(lambda: StickyPolicy(threshold=4))
+        assert sticky <= on_demand

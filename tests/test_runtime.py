@@ -1,0 +1,151 @@
+"""Tests for the asyncio runtime: codec round-trips and live clusters."""
+
+import asyncio
+
+import pytest
+
+from repro.consensus.commands import Command, CStruct
+from repro.consensus.epaxos import EpPreAccept
+from repro.consensus.multipaxos import MpAccept, MultiPaxos
+from repro.core.messages import Accept, AckAccept, AckPrepare, Forward, Prepare
+from repro.core.protocol import M2Paxos
+from repro.runtime.codec import decode_message, encode_message, FRAME_HEADER
+from repro.runtime.cluster import LocalCluster
+
+
+def roundtrip(message, sender=3):
+    frame = encode_message(sender, message)
+    (size,) = FRAME_HEADER.unpack(frame[: FRAME_HEADER.size])
+    assert size == len(frame) - FRAME_HEADER.size
+    got_sender, got = decode_message(frame[FRAME_HEADER.size:])
+    assert got_sender == sender
+    return got
+
+
+class TestCodec:
+    def test_forward_roundtrip(self):
+        command = Command.make(1, 7, ["a", "b"], payload_bytes=32)
+        msg = Forward(command=command, hops=1)
+        got = roundtrip(msg)
+        assert got == msg
+        assert got.command.ls == frozenset({"a", "b"})
+
+    def test_accept_with_instance_keyed_dicts(self):
+        c = Command.make(0, 0, ["x"])
+        msg = Accept(req=5, to_decide={("x", 1): c}, eps={("x", 1): 2})
+        got = roundtrip(msg)
+        assert got == msg
+        assert got.to_decide[("x", 1)].cid == (0, 0)
+
+    def test_ack_accept_with_cids(self):
+        msg = AckAccept(
+            req=9,
+            coordinator=2,
+            ok=False,
+            cids={("x", 1): (0, 4)},
+            eps={("x", 1): 3},
+            max_rnd=7,
+        )
+        assert roundtrip(msg) == msg
+
+    def test_ack_prepare_with_nested_tuples(self):
+        c = Command.make(0, 0, ["x", "y"])
+        msg = AckPrepare(
+            req=1,
+            ok=True,
+            decs={("x", 1): (c, 4, (("x", 1), ("y", 2)))},
+        )
+        got = roundtrip(msg)
+        assert got.decs[("x", 1)][2] == (("x", 1), ("y", 2))
+
+    def test_prepare_roundtrip(self):
+        msg = Prepare(req=2, eps={("x", 3): 9, ("y", 1): 4})
+        assert roundtrip(msg) == msg
+
+    def test_none_command_encodes(self):
+        msg = AckPrepare(req=1, ok=True, decs={("x", 1): (None, 0, ())})
+        got = roundtrip(msg)
+        assert got.decs[("x", 1)][0] is None
+
+    def test_multipaxos_message(self):
+        msg = MpAccept(view=3, slot=7, command=Command.make(1, 2, ["k"]))
+        assert roundtrip(msg) == msg
+
+    def test_epaxos_frozenset_deps(self):
+        msg = EpPreAccept(
+            instance=(0, 1),
+            ballot=0,
+            command=Command.make(0, 0, ["x"]),
+            seq=4,
+            deps=frozenset({(1, 2), (2, 3)}),
+        )
+        got = roundtrip(msg)
+        assert got.deps == frozenset({(1, 2), (2, 3)})
+
+    def test_noop_flag_survives(self):
+        from repro.consensus.commands import make_noop
+
+        msg = Forward(command=make_noop("x", 2, 5), hops=0)
+        assert roundtrip(msg).command.noop
+
+
+class TestLiveCluster:
+    def run(self, coro):
+        return asyncio.run(asyncio.wait_for(coro, timeout=30))
+
+    def test_m2paxos_over_tcp(self):
+        async def scenario():
+            cluster = LocalCluster(3, lambda i, n: M2Paxos())
+            await cluster.start()
+            try:
+                for seq in range(5):
+                    cluster.propose(0, Command.make(0, seq, ["alpha"]))
+                await cluster.wait_delivered(5)
+                orders = {
+                    tuple(c.cid for c in cluster.delivered(i)) for i in range(3)
+                }
+                assert orders == {tuple((0, s) for s in range(5))}
+            finally:
+                await cluster.stop()
+
+        self.run(scenario())
+
+    def test_m2paxos_concurrent_proposers_consistent(self):
+        async def scenario():
+            cluster = LocalCluster(3, lambda i, n: M2Paxos())
+            await cluster.start()
+            try:
+                for node in range(3):
+                    for seq in range(3):
+                        cluster.propose(node, Command.make(node, seq, ["shared"]))
+                await cluster.wait_delivered(9)
+                structs = []
+                for i in range(3):
+                    cs = CStruct()
+                    for c in cluster.delivered(i):
+                        cs.append(c)
+                    structs.append(cs)
+                for i in range(3):
+                    for j in range(i + 1, 3):
+                        assert structs[i].is_prefix_compatible(structs[j])
+            finally:
+                await cluster.stop()
+
+        self.run(scenario())
+
+    def test_multipaxos_over_tcp(self):
+        async def scenario():
+            cluster = LocalCluster(3, lambda i, n: MultiPaxos())
+            await cluster.start()
+            try:
+                cluster.propose(1, Command.make(1, 0, ["k"]))
+                cluster.propose(2, Command.make(2, 0, ["k"]))
+                await cluster.wait_delivered(2)
+                orders = {
+                    tuple(c.cid for c in cluster.delivered(i)) for i in range(3)
+                }
+                assert len(orders) == 1
+            finally:
+                await cluster.stop()
+
+        self.run(scenario())

@@ -1,0 +1,99 @@
+"""Message-complexity proofs via the tracer.
+
+These tests pin the paper's cost claims to exact message counts on a
+quiet cluster: the numbers the narrative sections of the paper argue
+from (classic quorums, no dependency exchange, 3N messages per fast
+command vs N^2 for ack-to-all).
+"""
+
+from repro.consensus.commands import Command
+from repro.core.protocol import M2Paxos, M2PaxosConfig
+from repro.sim.trace import Tracer
+
+from tests.conftest import make_cluster
+
+N = 5
+
+
+def warm_cluster(config=None, seed=1):
+    cluster = make_cluster(
+        lambda i, n: M2Paxos(config), n_nodes=N, seed=seed
+    )
+    tracer = Tracer(cluster)
+    # Warm ownership of "x" at node 0.
+    cluster.propose(0, Command.make(0, 0, ["x"]))
+    cluster.run_for(1.0)
+    tracer.clear()
+    return cluster, tracer
+
+
+class TestFastPathCosts:
+    def test_fast_command_costs_3n_messages(self):
+        cluster, tracer = warm_cluster()
+        cluster.propose(0, Command.make(0, 1, ["x"]))
+        cluster.run_for(1.0)
+        counts = tracer.message_counts()
+        # Accept broadcast (N) + one AckAccept per acceptor (N) +
+        # Decide broadcast to the others (N - 1).
+        assert counts["Accept"] == N
+        assert counts["AckAccept"] == N
+        assert counts["Decide"] == N - 1
+        assert "Prepare" not in counts  # no ownership traffic
+        assert "Forward" not in counts
+
+    def test_no_dependency_metadata_on_wire(self):
+        cluster, tracer = warm_cluster()
+        cluster.propose(0, Command.make(0, 1, ["x"]))
+        cluster.run_for(1.0)
+        accept = tracer.sends(message_type="Accept")[0].message
+        # The wire size of a single-object Accept is a small constant:
+        # no dependency lists, whatever the history length.
+        assert accept.size_bytes() < 120
+
+    def test_ack_to_all_costs_n_squared(self):
+        config = M2PaxosConfig(ack_to_all=True)
+        cluster, tracer = warm_cluster(config)
+        cluster.propose(0, Command.make(0, 1, ["x"]))
+        cluster.run_for(1.0)
+        counts = tracer.message_counts()
+        assert counts["AckAccept"] == N * N  # Algorithm 2 line 22, literal
+
+    def test_decided_at_proposer_after_two_delays(self):
+        cluster, tracer = warm_cluster()
+        start = tracer.mark()
+        cluster.propose(0, Command.make(0, 1, ["x"]))
+        cluster.run_for(1.0)
+        decided_at = tracer.deliveries(cid=(0, 1))[0].time
+        # One-way latency is ~100 us; two delays plus CPU overheads must
+        # land well under three delays.
+        assert decided_at - start < 3 * 130e-6 + 2e-3
+
+
+class TestForwardCosts:
+    def test_forwarded_command_adds_one_message(self):
+        cluster, tracer = warm_cluster()
+        cluster.propose(1, Command.make(1, 0, ["x"]))
+        cluster.run_for(1.0)
+        counts = tracer.message_counts()
+        assert counts["Forward"] == 1
+        assert counts["Accept"] == N
+
+
+class TestTracerMechanics:
+    def test_clear_and_mark(self):
+        cluster, tracer = warm_cluster()
+        assert tracer.events == []
+        mark = tracer.mark()
+        cluster.propose(0, Command.make(0, 1, ["x"]))
+        cluster.run_for(0.5)
+        assert tracer.sends(since=mark)
+        tracer.clear()
+        assert tracer.events == []
+
+    def test_predicate_filter(self):
+        cluster, tracer = warm_cluster()
+        cluster.propose(0, Command.make(0, 1, ["x"]))
+        cluster.run_for(0.5)
+        to_node_2 = tracer.sends(predicate=lambda e: e.dst == 2)
+        assert to_node_2
+        assert all(event.dst == 2 for event in to_node_2)
