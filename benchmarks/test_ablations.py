@@ -14,7 +14,6 @@ Three knobs the paper's design discussion motivates:
 
 from dataclasses import replace
 
-from benchmarks.conftest import run_figure
 from repro.bench.harness import PointSpec, run_point, saturated_spec
 from repro.bench.report import print_table
 from repro.core.protocol import M2Paxos, M2PaxosConfig

@@ -8,7 +8,7 @@ Peak paper gap: up to 7x over EPaxos at 49 nodes (we accept >= 2.5x at
 the largest size swept).
 """
 
-from benchmarks.conftest import FULL, run_figure, throughput_of
+from benchmarks.conftest import run_figure, throughput_of
 from repro.bench.figures import fig1
 
 

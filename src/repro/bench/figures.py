@@ -15,7 +15,6 @@ Usage::
 
 from __future__ import annotations
 
-import os
 import sys
 import time
 from dataclasses import replace

@@ -114,8 +114,12 @@ class ProtocolCosts:
     so caps throughput, but is pipelined off the latency path).  This
     is the term that makes multi-leader protocols scale with N: it is
     the only per-command cost that divides across nodes.
-    ``send_cost``: CPU occupancy per message sent (serialisation +
-    syscall); amortised by batching.
+    ``send_cost``: CPU occupancy per message sent unbatched
+    (serialisation + one syscall each).
+    ``batched_send_cost``: CPU occupancy per *coalesced write* when
+    batching is on -- the outbox flushes one write per destination per
+    event, and most of its overhead (event-loop wakeup, context) is
+    already inside ``base_cost``, so only a small residual is charged.
 
     The absolute values are calibrated for the simulator, not for any
     particular hardware: only ratios between protocols and the shape of
@@ -128,6 +132,7 @@ class ProtocolCosts:
     propose_cost: float = 8e-3
     propose_serial_fraction: float = 0.02
     send_cost: float = 4e-6
+    batched_send_cost: float = 0.25e-6
 
 
 class TimerHandle(ABC):
@@ -137,26 +142,107 @@ class TimerHandle(ABC):
     def cancel(self) -> None: ...
 
 
+FlushHook = Callable[[int, "list[tuple[int, Message]]", "dict[int, list[Message]]"], None]
+
+
 class Env(ABC):
-    """Effects interface a protocol uses to interact with the world."""
+    """Effects interface a protocol uses to interact with the world.
+
+    Sends are collected in an **outbox** while a protocol event (one
+    message handler, proposal, or timer callback) is running, and
+    flushed as per-destination batches when the outermost event ends.
+    Substrates implement :meth:`_transmit` (one message, immediately)
+    and may override :meth:`_flush` to exploit the batch structure
+    (amortised CPU charging in the simulator, coalesced writes in the
+    asyncio runtime).  Outside any event -- tests poking a protocol
+    directly -- ``send`` degenerates to an immediate ``_transmit``, so
+    the protocol's observable behaviour is unchanged.
+    """
 
     node_id: int
     n_nodes: int
+
+    # Lazily materialised per instance: Env implementations do not all
+    # call ``super().__init__()``, so plain class attributes provide the
+    # defaults until the first event begins.
+    _event_depth: int = 0
+    _outbox: Optional[list[tuple[int, Message]]] = None
+    _flush_hooks: Optional[list[FlushHook]] = None
 
     @property
     def nodes(self) -> range:
         """All node identifiers, ``0 .. n_nodes - 1``."""
         return range(self.n_nodes)
 
-    @abstractmethod
     def send(self, dst: int, message: Message) -> None:
-        """Send ``message`` to node ``dst`` (may be ``self.node_id``)."""
+        """Send ``message`` to node ``dst`` (may be ``self.node_id``).
+
+        Buffered in the outbox while an event is running; transmitted
+        immediately otherwise."""
+        if self._event_depth > 0:
+            self._outbox.append((dst, message))
+        else:
+            self._transmit(dst, message)
 
     def broadcast(self, message: Message, include_self: bool = True) -> None:
         """Send ``message`` to every node ("to all p_k in Pi")."""
         for dst in self.nodes:
             if include_self or dst != self.node_id:
                 self.send(dst, message)
+
+    # ------------------------------------------------------------------
+    # Outbox pipeline
+    # ------------------------------------------------------------------
+
+    def begin_event(self) -> None:
+        """Enter a protocol event: buffer sends until :meth:`end_event`.
+
+        Events nest (a handler may deliver a command whose listener
+        proposes synchronously); only the outermost exit flushes."""
+        if self._outbox is None:
+            self._outbox = []
+        self._event_depth += 1
+
+    def end_event(self) -> None:
+        """Leave a protocol event; flush the outbox at depth zero."""
+        self._event_depth -= 1
+        if self._event_depth > 0 or not self._outbox:
+            return
+        queued, self._outbox = self._outbox, []
+        batches: dict[int, list[Message]] = {}
+        for dst, message in queued:
+            batch = batches.get(dst)
+            if batch is None:
+                batches[dst] = [message]
+            else:
+                batch.append(message)
+        if self._flush_hooks:
+            for hook in self._flush_hooks:
+                hook(self.node_id, queued, batches)
+        self._flush(queued, batches)
+
+    def add_flush_hook(self, hook: FlushHook) -> None:
+        """Observe every flush: ``hook(node_id, queued, batches)`` with
+        ``queued`` the sends in issue order and ``batches`` grouped per
+        destination.  This is the single choke point metrics and tracing
+        attach to."""
+        if self._flush_hooks is None:
+            self._flush_hooks = []
+        self._flush_hooks.append(hook)
+
+    @abstractmethod
+    def _transmit(self, dst: int, message: Message) -> None:
+        """Actually move one message toward ``dst`` (substrate-specific)."""
+
+    def _flush(
+        self,
+        queued: list[tuple[int, Message]],
+        batches: dict[int, list[Message]],
+    ) -> None:
+        """Emit one event's buffered sends.  The default preserves issue
+        order; substrates override to batch per destination."""
+        for dst, message in queued:
+            self._transmit(dst, message)
 
     @abstractmethod
     def set_timer(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
@@ -176,11 +262,56 @@ class Env(ABC):
         """Per-node seeded random stream (timeout jitter etc.)."""
 
 
-class Protocol(ABC):
+def handles(*message_types: type) -> Callable:
+    """Mark a method as the handler for the given :class:`Message` types.
+
+    :class:`Dispatcher` collects marked methods into a per-class handler
+    table; ``on_message`` then routes by exact message type instead of
+    an isinstance chain.
+    """
+
+    def mark(fn: Callable) -> Callable:
+        fn.__dispatch_messages__ = message_types
+        return fn
+
+    return mark
+
+
+class Dispatcher:
+    """Mixin: table-driven message dispatch.
+
+    ``__init_subclass__`` walks the MRO collecting methods marked with
+    :func:`handles` into ``dispatch_table`` (subclasses override their
+    bases), giving every protocol O(1) routing and one shared error
+    path for unknown message types.
+    """
+
+    dispatch_table: dict[type, Callable] = {}
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        table: dict[type, Callable] = {}
+        for base in reversed(cls.__mro__):
+            for attr in vars(base).values():
+                for message_type in getattr(attr, "__dispatch_messages__", ()):
+                    table[message_type] = attr
+        cls.dispatch_table = table
+
+    def on_message(self, sender: int, message: Message) -> None:
+        """Route ``message`` to its registered handler."""
+        handler = self.dispatch_table.get(type(message))
+        if handler is None:
+            raise TypeError(f"unexpected message: {message!r}")
+        handler(self, sender, message)
+
+
+class Protocol(Dispatcher, ABC):
     """A consensus protocol state machine.
 
     Lifecycle: construct, :meth:`bind` to an :class:`Env`, then feed
     events.  A protocol must be usable with any Env implementation.
+    Message handlers are registered with :func:`handles`; inbound
+    messages arrive through the inherited table-driven ``on_message``.
     """
 
     costs = ProtocolCosts()
@@ -199,10 +330,6 @@ class Protocol(ABC):
     @abstractmethod
     def propose(self, command: Command) -> None:
         """C-PROPOSE: submit ``command`` for ordering."""
-
-    @abstractmethod
-    def on_message(self, sender: int, message: Message) -> None:
-        """Handle a message delivered by the runtime."""
 
     def processing_cost(self, message: Optional[Message]) -> tuple[float, float]:
         """``(cpu_seconds, serial_fraction)`` to charge for one event.

@@ -38,6 +38,7 @@ from typing import Optional
 
 from repro.consensus.base import (
     Message,
+    handles,
     Protocol,
     ProtocolCosts,
     classic_quorum_size,
@@ -220,6 +221,7 @@ class EPaxos(Protocol):
                 per_replica[replica] = slot
             self._max_seq[obj] = max(self._max_seq.get(obj, 0), seq)
 
+    @handles(EpPreAccept)
     def _on_preaccept(self, sender: int, msg: EpPreAccept) -> None:
         record = self.instances.setdefault(msg.instance, _EpInstance())
         if msg.ballot < record.ballot or record.status in (COMMITTED, EXECUTED):
@@ -251,6 +253,7 @@ class EPaxos(Protocol):
         local_seq, local_deps = self._attributes(msg.command, exclude=msg.instance)
         return max(msg.seq, local_seq), msg.deps | local_deps
 
+    @handles(EpPreAcceptReply)
     def _on_preaccept_reply(self, sender: int, msg: EpPreAcceptReply) -> None:
         record = self.instances.get(msg.instance)
         if (
@@ -293,6 +296,7 @@ class EPaxos(Protocol):
     # Phase 2 (slow path): Paxos-Accept on the attributes
     # ------------------------------------------------------------------
 
+    @handles(EpAccept)
     def _on_accept(self, sender: int, msg: EpAccept) -> None:
         record = self.instances.setdefault(msg.instance, _EpInstance())
         if msg.ballot < record.ballot or record.status in (COMMITTED, EXECUTED):
@@ -308,6 +312,7 @@ class EPaxos(Protocol):
             sender, EpAcceptReply(instance=msg.instance, ballot=msg.ballot, ok=True)
         )
 
+    @handles(EpAcceptReply)
     def _on_accept_reply(self, sender: int, msg: EpAcceptReply) -> None:
         record = self.instances.get(msg.instance)
         if (
@@ -349,6 +354,7 @@ class EPaxos(Protocol):
             )
         self._on_committed(instance_id)
 
+    @handles(EpCommit)
     def _on_commit(self, sender: int, msg: EpCommit) -> None:
         record = self.instances.setdefault(msg.instance, _EpInstance())
         if record.status in (COMMITTED, EXECUTED):
@@ -470,6 +476,7 @@ class EPaxos(Protocol):
             EpPrepare(instance=instance_id, ballot=record.ballot)
         )
 
+    @handles(EpPrepare)
     def _on_prepare(self, sender: int, msg: EpPrepare) -> None:
         record = self.instances.setdefault(msg.instance, _EpInstance())
         if msg.ballot <= record.ballot and sender != self.env.node_id:
@@ -492,6 +499,7 @@ class EPaxos(Protocol):
             ),
         )
 
+    @handles(EpPrepareReply)
     def _on_prepare_reply(self, sender: int, msg: EpPrepareReply) -> None:
         record = self.instances.get(msg.instance)
         if record is None or msg.ballot != record.ballot:
@@ -552,20 +560,3 @@ class EPaxos(Protocol):
             cost += self.costs.per_conflict_cost * len(message.deps)
         return cost, self.costs.serial_fraction
 
-    def on_message(self, sender: int, message: Message) -> None:
-        if isinstance(message, EpPreAccept):
-            self._on_preaccept(sender, message)
-        elif isinstance(message, EpPreAcceptReply):
-            self._on_preaccept_reply(sender, message)
-        elif isinstance(message, EpAccept):
-            self._on_accept(sender, message)
-        elif isinstance(message, EpAcceptReply):
-            self._on_accept_reply(sender, message)
-        elif isinstance(message, EpCommit):
-            self._on_commit(sender, message)
-        elif isinstance(message, EpPrepare):
-            self._on_prepare(sender, message)
-        elif isinstance(message, EpPrepareReply):
-            self._on_prepare_reply(sender, message)
-        else:
-            raise TypeError(f"unexpected message: {message!r}")

@@ -34,6 +34,7 @@ from typing import Optional
 
 from repro.consensus.base import (
     Message,
+    handles,
     Protocol,
     ProtocolCosts,
     classic_quorum_size,
@@ -228,6 +229,7 @@ class GenPaxos(Protocol):
     # Acceptor: fast-round voting
     # ------------------------------------------------------------------
 
+    @handles(GpPropose)
     def _on_propose(self, sender: int, msg: GpPropose) -> None:
         command = msg.command
         previous = self._voted_instances.get(command.cid, set())
@@ -270,6 +272,7 @@ class GenPaxos(Protocol):
     # Learner: counting fast votes
     # ------------------------------------------------------------------
 
+    @handles(GpVote)
     def _on_vote(self, sender: int, msg: GpVote) -> None:
         for inst in msg.entries:
             per_acceptor = self._seen_votes.setdefault(inst, {})
@@ -358,6 +361,7 @@ class GenPaxos(Protocol):
         }
         self.env.broadcast(GpPrepare(req=req, instances=instances, ballot=ballot))
 
+    @handles(GpPrepare)
     def _on_prepare(self, sender: int, msg: GpPrepare) -> None:
         refused = any(
             self._promised.get(inst, 0) >= msg.ballot for inst in msg.instances
@@ -383,6 +387,7 @@ class GenPaxos(Protocol):
             sender, GpPromise(req=msg.req, ballot=msg.ballot, ok=True, votes=votes)
         )
 
+    @handles(GpPromise)
     def _on_promise(self, sender: int, msg: GpPromise) -> None:
         pending = self._pending_prepares.get(msg.req)
         if pending is None or pending["done"]:
@@ -485,6 +490,7 @@ class GenPaxos(Protocol):
         }
         self.env.broadcast(GpAccept(req=req, ballot=ballot, to_decide=to_decide))
 
+    @handles(GpAccept)
     def _on_accept(self, sender: int, msg: GpAccept) -> None:
         ok = True
         for inst in msg.to_decide:
@@ -502,6 +508,7 @@ class GenPaxos(Protocol):
             sender, GpAckAccept(req=msg.req, ok=ok, to_decide=msg.to_decide)
         )
 
+    @handles(GpAckAccept)
     def _on_ack_accept(self, sender: int, msg: GpAckAccept) -> None:
         pending = self._pending_accepts.get(msg.req)
         if pending is None or pending["done"]:
@@ -522,6 +529,7 @@ class GenPaxos(Protocol):
             GpDecide(to_decide=pending["to_decide"]), include_self=False
         )
 
+    @handles(GpDecide)
     def _on_decide(self, sender: int, msg: GpDecide) -> None:
         for inst, command in msg.to_decide.items():
             l, idx = inst
@@ -532,6 +540,7 @@ class GenPaxos(Protocol):
     # Leader: multi-object commands, serialised in classic rounds
     # ------------------------------------------------------------------
 
+    @handles(GpSubmit)
     def _on_submit(self, sender: int, msg: GpSubmit) -> None:
         command = msg.command
         if self._is_learned(command):
@@ -573,22 +582,3 @@ class GenPaxos(Protocol):
             cost += self.costs.per_conflict_cost * len(message.command.ls)
         return cost, serial
 
-    def on_message(self, sender: int, message: Message) -> None:
-        if isinstance(message, GpPropose):
-            self._on_propose(sender, message)
-        elif isinstance(message, GpVote):
-            self._on_vote(sender, message)
-        elif isinstance(message, GpSubmit):
-            self._on_submit(sender, message)
-        elif isinstance(message, GpPrepare):
-            self._on_prepare(sender, message)
-        elif isinstance(message, GpPromise):
-            self._on_promise(sender, message)
-        elif isinstance(message, GpAccept):
-            self._on_accept(sender, message)
-        elif isinstance(message, GpAckAccept):
-            self._on_ack_accept(sender, message)
-        elif isinstance(message, GpDecide):
-            self._on_decide(sender, message)
-        else:
-            raise TypeError(f"unexpected message: {message!r}")

@@ -27,6 +27,7 @@ from typing import Optional
 
 from repro.consensus.base import (
     Message,
+    handles,
     Protocol,
     ProtocolCosts,
     classic_quorum_size,
@@ -113,6 +114,7 @@ class Mencius(Protocol):
         self._max_seen_slot = max(self._max_seen_slot, slot)
         self.env.broadcast(MnAccept(slot=slot, command=command))
 
+    @handles(MnAccept)
     def _on_accept(self, sender: int, msg: MnAccept) -> None:
         if self.config.paranoid and msg.slot % self.env.n_nodes != sender:
             raise AssertionError(
@@ -121,6 +123,7 @@ class Mencius(Protocol):
         self._observe_slot(msg.slot)
         self.env.send(sender, MnAck(slot=msg.slot, cid=msg.command.cid))
 
+    @handles(MnAck)
     def _on_ack(self, sender: int, msg: MnAck) -> None:
         command = self._proposals.get(msg.slot)
         if command is None or command.cid != msg.cid:
@@ -178,6 +181,7 @@ class Mencius(Protocol):
                 slot += (me - slot % n) % n
             self._next_own_slot = slot
 
+    @handles(MnSkip)
     def _on_skip(self, sender: int, msg: MnSkip) -> None:
         n = self.env.n_nodes
         slot = msg.start
@@ -199,6 +203,7 @@ class Mencius(Protocol):
     # Learning + delivery (global slot order)
     # ------------------------------------------------------------------
 
+    @handles(MnDecide)
     def _on_decide(self, sender: int, msg: MnDecide) -> None:
         self._observe_slot(msg.slot)
         self._decide(msg.slot, msg.command)
@@ -224,14 +229,3 @@ class Mencius(Protocol):
 
     # ------------------------------------------------------------------
 
-    def on_message(self, sender: int, message: Message) -> None:
-        if isinstance(message, MnAccept):
-            self._on_accept(sender, message)
-        elif isinstance(message, MnAck):
-            self._on_ack(sender, message)
-        elif isinstance(message, MnDecide):
-            self._on_decide(sender, message)
-        elif isinstance(message, MnSkip):
-            self._on_skip(sender, message)
-        else:
-            raise TypeError(f"unexpected message: {message!r}")

@@ -26,6 +26,7 @@ from typing import Optional
 
 from repro.consensus.base import (
     Message,
+    handles,
     Protocol,
     ProtocolCosts,
     classic_quorum_size,
@@ -175,6 +176,7 @@ class MultiPaxos(Protocol):
     def _send_accepts(self, slot: int, command: Command) -> None:
         self.env.broadcast(MpAccept(view=self.view, slot=slot, command=command))
 
+    @handles(MpAccept)
     def _on_accept(self, sender: int, msg: MpAccept) -> None:
         if msg.view < self.promised_view:
             self.env.send(
@@ -190,6 +192,7 @@ class MultiPaxos(Protocol):
             MpAckAccept(view=msg.view, slot=msg.slot, ok=True, cid=msg.command.cid),
         )
 
+    @handles(MpAckAccept)
     def _on_ack_accept(self, sender: int, msg: MpAckAccept) -> None:
         if not msg.ok or msg.view != self.view:
             return
@@ -208,6 +211,7 @@ class MultiPaxos(Protocol):
     # Learning + delivery (global slot order)
     # ------------------------------------------------------------------
 
+    @handles(MpDecide)
     def _on_decide(self, sender: int, msg: MpDecide) -> None:
         self._decide(msg.slot, msg.command)
 
@@ -249,6 +253,7 @@ class MultiPaxos(Protocol):
         self._promises = {}
         self.env.broadcast(MpPrepare(view=new_view))
 
+    @handles(MpPrepare)
     def _on_prepare(self, sender: int, msg: MpPrepare) -> None:
         if msg.view <= self.promised_view:
             self.env.send(
@@ -265,6 +270,7 @@ class MultiPaxos(Protocol):
             sender, MpPromise(view=msg.view, ok=True, accepted=undecided)
         )
 
+    @handles(MpPromise)
     def _on_promise(self, sender: int, msg: MpPromise) -> None:
         if self._pending_view is None or msg.view != self._pending_view:
             return
@@ -313,22 +319,10 @@ class MultiPaxos(Protocol):
             return self.LEADER_COORDINATION_COST, self.LEADER_COORDINATION_SERIAL
         return 0.0, 0.0
 
-    def on_message(self, sender: int, message: Message) -> None:
-        if isinstance(message, MpForward):
-            if self.is_leader:
-                self._assign(message.command)
-            else:
-                # Stale forward: pass it along to the current leader.
-                self.env.send(self.leader, message)
-        elif isinstance(message, MpAccept):
-            self._on_accept(sender, message)
-        elif isinstance(message, MpAckAccept):
-            self._on_ack_accept(sender, message)
-        elif isinstance(message, MpDecide):
-            self._on_decide(sender, message)
-        elif isinstance(message, MpPrepare):
-            self._on_prepare(sender, message)
-        elif isinstance(message, MpPromise):
-            self._on_promise(sender, message)
+    @handles(MpForward)
+    def _on_forward(self, sender: int, msg: MpForward) -> None:
+        if self.is_leader:
+            self._assign(msg.command)
         else:
-            raise TypeError(f"unexpected message: {message!r}")
+            # Stale forward: pass it along to the current leader.
+            self.env.send(self.leader, msg)

@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.consensus.base import (
     Message,
+    handles,
     Protocol,
     ProtocolCosts,
     classic_quorum_size,
@@ -176,6 +177,7 @@ class ClassicPaxos(Protocol):
     # Acceptor
     # ------------------------------------------------------------------
 
+    @handles(PxPrepare)
     def _on_prepare(self, sender: int, msg: PxPrepare) -> None:
         state = self._slot(msg.slot)
         if msg.ballot <= state.promised:
@@ -203,6 +205,7 @@ class ClassicPaxos(Protocol):
             ),
         )
 
+    @handles(PxAccept)
     def _on_accept(self, sender: int, msg: PxAccept) -> None:
         state = self._slot(msg.slot)
         if msg.ballot < state.promised:
@@ -229,6 +232,7 @@ class ClassicPaxos(Protocol):
     # Proposer
     # ------------------------------------------------------------------
 
+    @handles(PxPromise)
     def _on_promise(self, sender: int, msg: PxPromise) -> None:
         round_ = self._rounds.get(msg.req)
         if round_ is None or round_.done or round_.phase != "prepare":
@@ -262,6 +266,7 @@ class ClassicPaxos(Protocol):
             )
         )
 
+    @handles(PxAccepted)
     def _on_accepted(self, sender: int, msg: PxAccepted) -> None:
         round_ = self._rounds.get(msg.req)
         if round_ is None or round_.done or round_.phase != "accept":
@@ -288,6 +293,7 @@ class ClassicPaxos(Protocol):
     # Learner
     # ------------------------------------------------------------------
 
+    @handles(PxDecide)
     def _on_decide(self, sender: int, msg: PxDecide) -> None:
         self._decide(msg.slot, msg.value)
 
@@ -313,16 +319,3 @@ class ClassicPaxos(Protocol):
 
     # ------------------------------------------------------------------
 
-    def on_message(self, sender: int, message: Message) -> None:
-        if isinstance(message, PxPrepare):
-            self._on_prepare(sender, message)
-        elif isinstance(message, PxPromise):
-            self._on_promise(sender, message)
-        elif isinstance(message, PxAccept):
-            self._on_accept(sender, message)
-        elif isinstance(message, PxAccepted):
-            self._on_accepted(sender, message)
-        elif isinstance(message, PxDecide):
-            self._on_decide(sender, message)
-        else:
-            raise TypeError(f"unexpected message: {message!r}")

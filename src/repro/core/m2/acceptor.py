@@ -1,0 +1,247 @@
+"""Acceptor and learner sides (Algorithms 2-3): votes and decisions.
+
+The mixin owns every passive role: voting on Accepts, answering
+Prepares (with the tail-reporting ownership promise), learning from
+Decides, and feeding decisions to the delivery engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.consensus.base import handles
+from repro.consensus.commands import Command
+from repro.core.messages import Accept, AckAccept, AckPrepare, Decide, Instance, Prepare
+from repro.core.m2.config import _DECIDED_EPOCH, SafetyViolation
+
+
+class AcceptorMixin:
+    """Algorithm 2's acceptor half + Algorithm 3 (learning/delivery)."""
+
+    @handles(Accept)
+    def _on_accept(self, sender: int, msg: Accept) -> None:
+        refused = False
+        max_rnd = 0
+        for inst, epoch in msg.eps.items():
+            inst_state = self.state.inst(inst)
+            obj = self.state.obj(inst[0])
+            max_rnd = max(max_rnd, inst_state.rnd, obj.promised)
+            if inst_state.rnd > epoch:
+                refused = True
+            if not msg.scoped and obj.promised > epoch:
+                # Object-level leadership: a higher epoch was prepared,
+                # so this accept comes from a dethroned owner.  Scoped
+                # rounds arbitrate purely on the instance's rnd.
+                refused = True
+            existing = self.state.decided_at(inst)
+            if existing is not None and existing.cid != msg.to_decide[inst].cid:
+                # The instance is already burned with a different command;
+                # never vote for a second value.
+                refused = True
+            # Either way, remember the position was used: our own picks
+            # must steer clear of it.
+            obj.observe_position(inst[1])
+
+        if refused:
+            self.env.send(
+                sender,
+                AckAccept(
+                    req=msg.req,
+                    coordinator=sender,
+                    ok=False,
+                    cids={},
+                    eps=msg.eps,
+                    max_rnd=max_rnd,
+                ),
+            )
+            return
+
+        # Each accepted value remembers the full instance set it was
+        # proposed with (what a later forced recovery must cover
+        # atomically): taken from the message's authoritative map when
+        # present, else derived by grouping the round's instances.
+        ins_of: dict[tuple[int, int], tuple[Instance, ...]] = dict(msg.cmd_ins)
+        for inst, cmd in msg.to_decide.items():
+            if cmd.cid not in ins_of:
+                ins_of[cmd.cid] = tuple(
+                    i for i, c in msg.to_decide.items() if c.cid == cmd.cid
+                )
+
+        for inst, epoch in msg.eps.items():
+            l, position = inst
+            inst_state = self.state.inst(inst)
+            inst_state.rnd = epoch
+            inst_state.rdec = epoch
+            inst_state.vdec = msg.to_decide[inst]
+            inst_state.vdec_ins = ins_of[msg.to_decide[inst].cid]
+            obj = self.state.obj(l)
+            if not msg.scoped:
+                # Only leadership rounds transfer ownership.
+                obj.owner = sender
+                obj.owner_epoch = epoch
+                obj.promised = max(obj.promised, epoch)
+                obj.epoch = max(obj.epoch, epoch)
+            obj.observe_position(position)
+            self.state.gap_candidates.add(l)
+
+        ack = AckAccept(
+            req=msg.req,
+            coordinator=sender,
+            ok=True,
+            cids={inst: cmd.cid for inst, cmd in msg.to_decide.items()},
+            eps=msg.eps,
+        )
+        if self.config.ack_to_all:
+            self.env.broadcast(ack)
+        else:
+            self.env.send(sender, ack)
+        if sender == self.env.node_id:
+            # Our own accept landed: ownership is now recorded locally,
+            # so deferred commands can take the fast path.
+            self._drain_deferred()
+
+    TAIL_REPORT_CAP = 64
+
+    @handles(Prepare)
+    def _on_prepare(self, sender: int, msg: Prepare) -> None:
+        refused = False
+        max_rnd = 0
+        for inst, epoch in msg.eps.items():
+            inst_state = self.state.inst(inst)
+            obj = self.state.obj(inst[0])
+            max_rnd = max(max_rnd, inst_state.rnd)
+            if inst_state.rnd >= epoch:
+                refused = True
+            if not msg.scoped:
+                max_rnd = max(max_rnd, obj.promised)
+                if obj.promised >= epoch:
+                    refused = True
+            # Record the attempted position either way: our own next
+            # picks must steer clear of it.
+            obj.observe_position(inst[1])
+
+        if refused:
+            self.env.send(
+                sender, AckPrepare(req=msg.req, ok=False, max_rnd=max_rnd)
+            )
+            return
+
+        if msg.scoped:
+            # Instance-scoped phase 1: promise and report only the
+            # requested instances; the object's leadership is untouched.
+            decs: dict[
+                Instance, tuple[Optional[Command], int, tuple[Instance, ...]]
+            ] = {}
+            for inst, epoch in msg.eps.items():
+                inst_state = self.state.inst(inst)
+                inst_state.rnd = epoch
+                self.state.gap_candidates.add(inst[0])
+                decided = self.state.decided_at(inst)
+                if decided is not None:
+                    ins = (
+                        inst_state.vdec_ins
+                        if inst_state.vdec is not None
+                        and inst_state.vdec.cid == decided.cid
+                        else (inst,)
+                    )
+                    decs[inst] = (decided, _DECIDED_EPOCH, ins)
+                else:
+                    decs[inst] = (
+                        inst_state.vdec,
+                        inst_state.rdec,
+                        inst_state.vdec_ins,
+                    )
+            self.env.send(sender, AckPrepare(req=msg.req, ok=True, decs=decs))
+            return
+
+        # A promise for epoch e covers the *whole object*, so the reply
+        # reports every instance at/above the requested position that
+        # carries activity -- exactly Multi-Paxos's view change, where
+        # the new leader learns the log tail.  Without this, the new
+        # owner could run fast-path rounds over instances where an
+        # older-epoch quorum already chose a value it never saw.
+        decs: dict[Instance, tuple[Optional[Command], int, tuple[Instance, ...]]] = {}
+        for inst, epoch in msg.eps.items():
+            l, position = inst
+            obj = self.state.obj(l)
+            obj.promised = max(obj.promised, epoch)
+            obj.epoch = max(obj.epoch, epoch)
+            self.state.gap_candidates.add(l)
+            tail = self.state.positions_with_activity(l, position)
+            for p in [position] + tail[: self.TAIL_REPORT_CAP]:
+                report_inst = (l, p)
+                inst_state = self.state.inst(report_inst)
+                # The promise covers every reported instance, exactly as
+                # a Multi-Paxos promise covers the whole log: otherwise a
+                # lower-ballot scoped round could slip in between this
+                # report and the new owner's hole-filling accept.
+                inst_state.rnd = max(inst_state.rnd, epoch)
+                decided = self.state.decided_at(report_inst)
+                if decided is not None:
+                    ins = (
+                        inst_state.vdec_ins
+                        if inst_state.vdec is not None
+                        and inst_state.vdec.cid == decided.cid
+                        else (report_inst,)
+                    )
+                    decs[report_inst] = (decided, _DECIDED_EPOCH, ins)
+                else:
+                    decs[report_inst] = (
+                        inst_state.vdec,
+                        inst_state.rdec,
+                        inst_state.vdec_ins,
+                    )
+        self.env.send(sender, AckPrepare(req=msg.req, ok=True, decs=decs))
+
+    # ------------------------------------------------------------------
+    # Decision phase (Algorithm 3)
+    # ------------------------------------------------------------------
+
+    @handles(Decide)
+    def _on_decide(self, sender: int, msg: Decide) -> None:
+        ins_of: dict[tuple[int, int], tuple[Instance, ...]] = {}
+        for inst, cmd in msg.to_decide.items():
+            # A node that missed the Accept still learns the value and
+            # its round's instance set, so its prepare replies can route
+            # recoveries correctly.
+            inst_state = self.state.inst(inst)
+            if inst_state.vdec is None:
+                if cmd.cid not in ins_of:
+                    ins_of[cmd.cid] = tuple(
+                        i for i, c in msg.to_decide.items() if c.cid == cmd.cid
+                    )
+                inst_state.vdec = cmd
+                inst_state.vdec_ins = ins_of[cmd.cid]
+            self._decide(inst, cmd)
+
+    def _decide(self, inst: Instance, command: Command) -> None:
+        l, position = inst
+        existing = self.state.decided_at(inst)
+        if existing is not None:
+            if self.config.paranoid and existing.cid != command.cid:
+                if existing.noop and command.noop:
+                    # Two recovery rounds racing to fill the same hole
+                    # may carry distinct no-op ids; no-ops are
+                    # semantically identical (they only advance the
+                    # frontier and are never delivered), so either one
+                    # standing is consistent.
+                    return
+                raise SafetyViolation(
+                    f"instance {inst}: {existing} already decided, got {command}"
+                )
+            return
+        assert self.delivery is not None
+        self.delivery.record_decision(l, position, command, self.env.now())
+        appended = self.delivery.pump(dirty=command.ls)
+        # Every object whose frontier may have moved goes (back) on the
+        # gap checker's radar; the checker discards clean ones itself.
+        self.state.gap_candidates.update(command.ls)
+        for done in appended:
+            self.state.gap_candidates.update(done.ls)
+
+    def _on_append(self, command: Command) -> None:
+        """A command reached the C-struct: deliver it upward."""
+        self._attempts.pop(command.cid, None)
+        self._assigned.pop(command.cid, None)
+        if not command.noop:
+            self.env.deliver(command)

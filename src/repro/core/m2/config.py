@@ -1,0 +1,103 @@
+"""Shared configuration and bookkeeping records for M2Paxos.
+
+Everything here is pure data: tunables, the safety-violation alarm, and
+the in-flight round records the proposer/ownership phases share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.consensus.commands import Command
+from repro.core.messages import Instance
+
+_DECIDED_EPOCH = 1 << 30
+"""Sentinel epoch reported for already-decided instances in prepare
+replies, so SELECT always re-forces the decided command."""
+
+
+class SafetyViolation(AssertionError):
+    """Two different commands decided for the same instance."""
+
+
+@dataclass(frozen=True)
+class M2PaxosConfig:
+    """Tunables (timeouts in seconds of env time)."""
+
+    forward_timeout: float = 0.05
+    retry_backoff: float = 0.002
+    gap_check_period: float = 0.2
+    gap_timeout: float = 0.4
+    # Proposer-side supervision: re-coordinate a command that has not
+    # been decided after this long.  NACK-triggered retries cover rounds
+    # that fail loudly; this covers rounds lost to message drops or
+    # crashes.  Must exceed worst-case decision latency (tune up for
+    # saturation benchmarks).
+    supervise_timeout: float = 1.5
+    # Abandon a prepare round whose quorum of replies never arrives
+    # (message loss), releasing the per-object acquisition guard.
+    round_timeout: float = 0.6
+    # After announcing a decided round, re-send it to nodes whose ack
+    # never arrived.  A node that misses both the Accept and the Decide
+    # has *no local record* of the instance, so its gap checker can
+    # never notice the hole; only the coordinator knows who went
+    # unheard.  Quiet clusters send nothing extra (everyone acks long
+    # before the first timeout).
+    learn_resend_timeout: float = 0.25
+    learn_resend_attempts: int = 12
+    ack_to_all: bool = False
+    max_forward_hops: int = 1
+    gap_recovery: bool = True
+    paranoid: bool = True
+    # Optional deterministic epoch-0 ownership map (``l -> node id``),
+    # identical on every node.  Lets an application with a natural data
+    # partitioning (e.g. TPC-C warehouses) start on the fast path
+    # without first-touch acquisitions; any node can still take objects
+    # over by preparing epoch 1.
+    home_hint: Optional[Callable[[str], int]] = None
+    # When-to-acquire policy (Section IV-C calls this an orthogonal
+    # problem); None means the paper's on-demand policy.  See
+    # repro.core.policy.
+    policy: Optional[object] = None
+
+
+@dataclass
+class _PendingAccept:
+    command: Optional[Command]  # retried on NACK when set
+    to_decide: dict[Instance, Command]
+    eps: dict[Instance, int]
+    scoped: bool = False
+    done: bool = False  # a NACK arrived; retry handling has run
+    announced: bool = False  # Decide broadcast sent
+    acked: set = field(default_factory=set)  # nodes whose AckAccept arrived
+
+
+@dataclass
+class _PendingPrepare:
+    """An in-flight prepare round.
+
+    ``kind`` is one of:
+
+    - ``"acquisition"``: ownership acquisition for our own ``command``
+      (Algorithm 4);
+    - ``"gap"``: frontier recovery of one stalled instance
+      (``command`` is None; unforced instances become no-ops);
+    - ``"recover"``: atomic re-proposal of a forced multi-object
+      ``command`` over its recorded instance set.
+    """
+
+    command: Optional[Command]
+    eps: dict[Instance, int]
+    kind: str = "acquisition"
+    replies: dict[
+        int, dict[Instance, tuple[Optional[Command], int, tuple[Instance, ...]]]
+    ] = field(default_factory=dict)
+    done: bool = False
+    # Instances of objects we already owned when the round started (at
+    # their current epochs): not prepared -- re-electing ourselves would
+    # dethrone our own pipeline -- but included in the clean accept.
+    extra_eps: dict[Instance, int] = field(default_factory=dict)
+    # For kind == "recover": the command's authoritative full instance
+    # set (this round may cover only its still-undecided subset).
+    fins: tuple[Instance, ...] = ()

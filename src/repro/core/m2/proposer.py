@@ -1,0 +1,362 @@
+"""Coordination and accept phases (Algorithms 1-2): the proposer side.
+
+The mixin owns everything a node does for commands it coordinates:
+picking instances, the fast/forward decision, the accept round and its
+ack counting, retries, and proposer-side supervision.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.consensus.base import handles
+from repro.consensus.commands import Command
+from repro.core.messages import Accept, AckAccept, Decide, Forward, Instance
+from repro.core.m2.config import _PendingAccept
+from repro.core.policy import FORWARD
+
+
+class ProposerMixin:
+    """Algorithm 1 (coordination) + Algorithm 2's coordinator half."""
+
+    # ------------------------------------------------------------------
+    # Coordination phase (Algorithm 1)
+    # ------------------------------------------------------------------
+
+    def propose(self, command: Command) -> None:
+        self.policy.on_local_request(self.env.node_id, command)
+        self._coordinate(command, hops=0)
+        self._supervise(command)
+
+    def _supervise(self, command: Command) -> None:
+        """Watch our own proposal until it is decided (liveness under
+        message loss: a silently lost round never produces a NACK)."""
+        if self.config.supervise_timeout <= 0:
+            return
+        period = self.config.supervise_timeout * (1.0 + 0.5 * self.env.rng.random())
+
+        def check() -> None:
+            if not self._fully_decided(command):
+                self._coordinate(command, hops=0)
+                self._supervise(command)
+
+        self.env.set_timer(period, check)
+
+    def _pick_instances(self, command: Command) -> dict[Instance, int]:
+        """Choose the next free position per still-undecided object.
+
+        Returns ``{(l, in): epoch}`` with the *current* epoch (fast
+        path); the acquisition path overwrites the epochs.  Positions
+        are reserved immediately so pipelined proposals on the same
+        object never collide.
+        """
+        assigned = self._assigned.get(command.cid)
+        if assigned is not None:
+            fins = {(l, position) for l, (position, _e) in assigned.items()}
+            if self._round_is_dead(command, fins):
+                assigned = None  # provably unchoosable; safe to move
+        if assigned is None:
+            assigned = {}
+            for l in sorted(command.ls):
+                obj = self.state.obj(l)
+                position = max(obj.next_slot, obj.appended + 1)
+                # Remember the epoch the position was allocated under:
+                # if the object's epoch moves on, the position may have
+                # been touched by an interim owner and must be prepared
+                # (phase 1) before any further accept.
+                assigned[l] = (position, obj.epoch)
+            self._assigned[command.cid] = assigned
+        eps: dict[Instance, int] = {}
+        for l, (position, _alloc_epoch) in assigned.items():
+            if self.state.is_decided_for(l, command):
+                continue
+            obj = self.state.obj(l)
+            obj.observe_position(position)
+            eps[(l, position)] = obj.epoch
+        return eps
+
+    def _stale_instances(self, command: Command) -> set[Instance]:
+        """Assigned instances whose object epoch moved since allocation."""
+        assigned = self._assigned.get(command.cid) or {}
+        stale = set()
+        for l, (position, alloc_epoch) in assigned.items():
+            if self.state.obj(l).epoch != alloc_epoch:
+                stale.add((l, position))
+        return stale
+
+    def _coordinate(self, command: Command, hops: int) -> None:
+        undecided = [
+            l for l in command.ls if not self.state.is_decided_for(l, command)
+        ]
+        if not undecided:
+            return
+
+        me = self.env.node_id
+        if all(self._is_current_owner(l) for l in undecided):
+            eps = self._pick_instances(command)
+            if eps and not self._stale_instances(command):
+                self.stats["fast_path"] += 1
+                self._accept_phase(
+                    command, eps, full_ins=self._full_ins(command, eps)
+                )
+                return
+            if eps:
+                # A pinned position outlived an ownership change: it may
+                # have been touched at another epoch, so run phase 1.
+                self._acquisition_phase(command)
+            return
+
+        if any(l in self._acquiring for l in undecided):
+            # We are already acquiring (some of) these objects for an
+            # earlier command; queue FIFO and re-coordinate once that
+            # settles, rather than launching a second epoch war against
+            # ourselves.  Preserving order here is what keeps a burst of
+            # pipelined proposals delivered in submission order.
+            self._deferred.append(command)
+            return
+
+        owners = {self.state.obj(l).owner for l in undecided}
+        if (
+            len(owners) == 1
+            and None not in owners
+            and me not in owners
+            and hops < self.config.max_forward_hops
+        ):
+            (owner,) = owners
+            self.stats["forwarded"] += 1
+            self.env.send(owner, Forward(command=command, hops=hops + 1))
+            self._arm_forward_timeout(command)
+            return
+
+        # No usable single owner: the ownership policy decides between
+        # reshuffling here or forwarding to a better-placed node
+        # (Section IV-C: when-to-acquire is a pluggable, orthogonal
+        # choice; the default acquires on demand, as in the paper).
+        owner_map = {l: self.state.obj(l).owner for l in undecided}
+        action, target = self.policy.decide(me, command, owner_map)
+        if (
+            action == FORWARD
+            and target is not None
+            and target != me
+            and hops < self.config.max_forward_hops
+        ):
+            self.stats["forwarded"] += 1
+            self.env.send(target, Forward(command=command, hops=hops + 1))
+            self._arm_forward_timeout(command)
+            return
+        self._acquisition_phase(command)
+
+    @handles(Forward)
+    def _on_forward(self, sender: int, msg: Forward) -> None:
+        self._coordinate(msg.command, hops=msg.hops)
+
+    def _full_ins(
+        self, command: Command, eps: dict[Instance, int]
+    ) -> Optional[tuple[Instance, ...]]:
+        """The command's authoritative full instance set, when the round
+        at hand covers only part of it (siblings already decided)."""
+        assigned = self._assigned.get(command.cid)
+        if assigned is None or len(assigned) == len(eps):
+            return None
+        return tuple(
+            (l, position) for l, (position, _epoch) in sorted(assigned.items())
+        )
+
+    def _drain_deferred(self) -> None:
+        if not self._deferred:
+            return
+        queued, self._deferred = self._deferred, []
+        for command in queued:
+            self._coordinate(command, hops=0)
+
+    def _is_current_owner(self, l: str) -> bool:
+        """IsOwner(p_i, l): we acquired ``l`` and nobody has started a
+        higher epoch since (a raised epoch means our leadership is being
+        taken over, so fast-path rounds would only be refused)."""
+        obj = self.state.obj(l)
+        return (
+            obj.owner == self.env.node_id
+            and obj.owner_epoch == obj.epoch
+            and obj.promised <= obj.epoch
+        )
+
+    def _arm_forward_timeout(self, command: Command) -> None:
+        def on_timeout() -> None:
+            if not self._fully_decided(command):
+                # Take over: the owner may have crashed or lost ownership.
+                self._acquisition_phase(command)
+
+        jitter = 1.0 + 0.2 * self.env.rng.random()
+        self.env.set_timer(self.config.forward_timeout * jitter, on_timeout)
+
+    def _fully_decided(self, command: Command) -> bool:
+        return all(self.state.is_decided_for(l, command) for l in command.ls)
+
+    def _retry(self, command: Command) -> None:
+        """Re-run the coordination phase after a randomised backoff.
+
+        The backoff grows with the attempt count; this is the practical
+        concession the paper makes in Section IV-C ("an unbounded
+        sequence of restarts") -- safety never depends on it.
+        """
+        attempt = self._attempts.get(command.cid, 0) + 1
+        self._attempts[command.cid] = attempt
+        delay = self.config.retry_backoff * attempt * (0.5 + self.env.rng.random())
+
+        def fire() -> None:
+            if not self._fully_decided(command):
+                self._coordinate(command, hops=0)
+
+        self.env.set_timer(delay, fire)
+
+    # ------------------------------------------------------------------
+    # Accept phase (Algorithm 2)
+    # ------------------------------------------------------------------
+
+    def _accept_phase(
+        self,
+        command: Command,
+        eps: dict[Instance, int],
+        full_ins: Optional[tuple[Instance, ...]] = None,
+        scoped: bool = False,
+    ) -> None:
+        """Plain accept of ``command`` at all its instances (fast path,
+        clean acquisitions, and full-set recoveries)."""
+        cmd_ins = {command.cid: full_ins} if full_ins else None
+        self._send_accept_round(
+            {inst: command for inst in eps},
+            eps,
+            retry_command=command,
+            cmd_ins=cmd_ins,
+            scoped=scoped,
+        )
+
+    def _send_accept_round(
+        self,
+        to_decide: dict[Instance, Command],
+        eps: dict[Instance, int],
+        retry_command: Optional[Command],
+        cmd_ins: Optional[dict[tuple[int, int], tuple[Instance, ...]]] = None,
+        scoped: bool = False,
+    ) -> None:
+        req = self._next_req()
+        self._pending_accepts[req] = _PendingAccept(
+            command=retry_command,
+            to_decide=dict(to_decide),
+            eps={inst: eps[inst] for inst in to_decide},
+            scoped=scoped,
+        )
+        self.env.broadcast(
+            Accept(
+                req=req,
+                to_decide=dict(to_decide),
+                eps={inst: eps[inst] for inst in to_decide},
+                cmd_ins=cmd_ins or {},
+                scoped=scoped,
+            )
+        )
+
+    @handles(AckAccept)
+    def _on_ack_accept(self, sender: int, msg: AckAccept) -> None:
+        if not msg.ok:
+            pending = self._pending_accepts.get(msg.req)
+            if pending is None or pending.done:
+                return
+            pending.done = True
+            self.stats["accept_nacks"] += 1
+            for (l, _position), _epoch in msg.eps.items():
+                obj = self.state.obj(l)
+                obj.epoch = max(obj.epoch, msg.max_rnd)
+            # Failed recoveries must be re-runnable (by us or by the gap
+            # checker); a leaked active flag would block them forever.
+            for cmd in pending.to_decide.values():
+                self._active_recoveries.discard(cmd.cid)
+            if pending.command is not None:
+                self._retry(pending.command)
+            return
+
+        if msg.coordinator == self.env.node_id:
+            ours = self._pending_accepts.get(msg.req)
+            if ours is not None:
+                ours.acked.add(sender)
+
+        # Count votes per instance; with ack_to_all every node runs this
+        # and learns in two delays (Algorithm 3, lines 6-10); otherwise
+        # only the coordinator does and the others learn via Decide.
+        ready = True
+        for inst, cid in msg.cids.items():
+            votes = self.state.record_ack(inst, msg.eps[inst], cid, sender)
+            if votes < self.quorum:
+                ready = False
+        if not ready:
+            return
+
+        pending = (
+            self._pending_accepts.get(msg.req)
+            if msg.coordinator == self.env.node_id
+            else None
+        )
+        # The ack carries ids only; resolve the command bodies from the
+        # coordinator's pending round or from our own accepted values
+        # (a node that missed the Accept learns from the Decide instead).
+        for inst, cid in msg.cids.items():
+            command = pending.to_decide.get(inst) if pending is not None else None
+            if command is None or command.cid != cid:
+                inst_state = self.state.instances.get(inst)
+                vdec = inst_state.vdec if inst_state is not None else None
+                command = vdec if vdec is not None and vdec.cid == cid else None
+            if command is not None:
+                self._decide(inst, command)
+
+        if pending is not None and not pending.announced:
+            # Announce even if a NACK marked the round done earlier: a
+            # quorum of ACKs means the values ARE chosen, and silence
+            # here would strand the decision at this node alone.
+            pending.announced = True
+            pending.done = True
+            self.env.broadcast(
+                Decide(to_decide=pending.to_decide), include_self=False
+            )
+            for cmd in pending.to_decide.values():
+                self._active_recoveries.discard(cmd.cid)
+            self._arm_learn_resend(msg.req)
+
+    def _arm_learn_resend(self, req: int, attempt: int = 1) -> None:
+        """Chase nodes whose ack for an announced round never arrived.
+
+        A node that missed both the round's Accept and its Decide holds
+        no trace of the instance, so its own gap recovery can never
+        trigger; re-sending both (they travel in one flush batch) both
+        decides it there outright and elicits the missing ack.  Stops
+        as soon as every node acked, if a decision was superseded
+        (laggards then heal via gap recovery on the activity the resent
+        Accept recorded), or after the configured attempt cap."""
+        cfg = self.config
+        if cfg.learn_resend_timeout <= 0 or attempt > cfg.learn_resend_attempts:
+            return
+
+        def fire() -> None:
+            pending = self._pending_accepts.get(req)
+            if pending is None or len(pending.acked) >= self.env.n_nodes:
+                return
+            for inst, cmd in pending.to_decide.items():
+                decided = self.state.decided_at(inst)
+                if decided is None or decided.cid != cmd.cid:
+                    return
+            for dst in self.env.nodes:
+                if dst not in pending.acked:
+                    self.env.send(
+                        dst,
+                        Accept(
+                            req=req,
+                            to_decide=pending.to_decide,
+                            eps=pending.eps,
+                            cmd_ins={},
+                            scoped=pending.scoped,
+                        ),
+                    )
+                    self.env.send(dst, Decide(to_decide=pending.to_decide))
+            self._arm_learn_resend(req, attempt + 1)
+
+        jitter = 1.0 + 0.5 * self.env.rng.random()
+        self.env.set_timer(cfg.learn_resend_timeout * attempt * jitter, fire)

@@ -1,0 +1,92 @@
+"""Gap and crash recovery (Section IV intro): healing stalled frontiers.
+
+The mixin owns the periodic gap checker and the two recovery round
+flavours it launches: instance-scoped gap fills (no-ops) and atomic
+re-proposals of forced multi-object commands.
+"""
+
+from __future__ import annotations
+
+from repro.consensus.commands import Command
+from repro.core.messages import Instance
+
+
+class RecoveryMixin:
+    """Frontier recovery: gap rounds and forced-command re-proposals."""
+
+    GAP_BATCH = 16
+
+    def _recover_gap(self, l: str, position: int) -> None:
+        """Prepare the stalled instances of ``l`` to either learn their
+        pending commands or fill them with no-ops (crash recovery,
+        Section IV intro).  Batched: one round covers every open
+        position up to the highest decided one, so a burst of abandoned
+        reservations heals in one shot instead of one per timeout."""
+        self.stats["gap_recoveries"] += 1
+        obj = self.state.obj(l)
+        top = min(obj.max_decided(), position + self.GAP_BATCH)
+        instances = [
+            (l, p)
+            for p in range(position, max(top, position) + 1)
+            if p not in obj.decided
+        ] or [(l, position)]
+        self._prepare_round(None, instances, kind="gap")
+
+    def _schedule_recover_command(
+        self, command: Command, fins: tuple[Instance, ...]
+    ) -> None:
+        """Atomically re-propose a forced multi-object command over the
+        full instance set its original accept round used.
+
+        Re-deciding it at a single instance could split its decision
+        across positions chosen at different times, which can knot the
+        per-object delivery orders into a cycle -- so recovery always
+        covers the recorded set.
+        """
+        if command.cid in self._active_recoveries:
+            return
+        self._active_recoveries.add(command.cid)
+
+        def fire() -> None:
+            remaining = [
+                inst for inst in fins if self.state.decided_at(inst) is None
+            ]
+            if not remaining:
+                self._active_recoveries.discard(command.cid)
+                return
+            if self._round_is_dead(command, set(fins)):
+                # The command lost one of its instances to another
+                # command: fill the leftovers as plain gaps (no-ops).
+                self._active_recoveries.discard(command.cid)
+                self._prepare_round(None, remaining, kind="gap")
+                return
+            self._prepare_round(command, remaining, kind="recover", fins=fins)
+
+        jitter = self.config.retry_backoff * (0.5 + self.env.rng.random())
+        self.env.set_timer(jitter, fire)
+
+    # ------------------------------------------------------------------
+    # Gap recovery timer
+    # ------------------------------------------------------------------
+
+    def _schedule_gap_check(self) -> None:
+        period = self.config.gap_check_period * (0.75 + 0.5 * self.env.rng.random())
+
+        def check() -> None:
+            self._check_gaps()
+            self._schedule_gap_check()
+
+        self.env.set_timer(period, check)
+
+    def _check_gaps(self) -> None:
+        assert self.delivery is not None
+        now = self.env.now()
+        for l in list(self.state.gap_candidates):
+            gap = self.delivery.undelivered_gap(l)
+            if gap is None:
+                self.state.gap_candidates.discard(l)
+                continue
+            obj = self.state.obj(l)
+            if now - obj.last_progress >= self.config.gap_timeout:
+                obj.last_progress = now  # rate-limit recovery attempts
+                self._recover_gap(l, gap)

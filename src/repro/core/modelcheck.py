@@ -29,7 +29,7 @@ The explored transition system follows the appendix's ``Spec2``:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import product
 from typing import Iterable, Optional
 

@@ -1,1108 +1,26 @@
-"""M2Paxos protocol state machine (Algorithms 1-4 of the paper).
+"""Stable import façade for the M2Paxos implementation.
 
-The decision paths, in the paper's terms:
+The protocol formerly lived here as one module; it is now the
+:mod:`repro.core.m2` package, split by role:
 
-- **Fast path** (Section IV-A, Algorithm 1 lines 5-10): the proposer
-  owns every object in ``c.LS`` -> one ``Accept`` broadcast + a classic
-  quorum of ``AckAccept`` = decided in two communication delays.
-- **Forward path** (Section IV-B, lines 11-15): a single other node
-  owns all the objects -> forward, total three delays.
-- **Acquisition path** (Section IV-C, Algorithm 4): no single owner ->
-  per-object Paxos prepare with bumped epochs, then the accept phase,
-  honouring any command *forced* by the prepare replies.
+- :mod:`repro.core.m2.config` -- tunables (:class:`M2PaxosConfig`),
+  :class:`SafetyViolation`, and shared in-flight round records;
+- :mod:`repro.core.m2.proposer` -- coordination + accept phases
+  (Algorithms 1-2, coordinator side);
+- :mod:`repro.core.m2.acceptor` -- voting, promises, learning and
+  delivery (Algorithms 2-3, passive side);
+- :mod:`repro.core.m2.ownership` -- acquisition rounds and SELECT
+  (Algorithm 4);
+- :mod:`repro.core.m2.recovery` -- gap checking and forced-command
+  recovery.
 
-Deviations and hardenings beyond the pseudocode -- each taken where the
-pseudocode is ambiguous, and catalogued with rationale in DESIGN.md
-("Protocol-hardening decisions"):
-
-- object-level ``promised`` epochs (Multi-Paxos-style leadership) and
-  globally unique striped epochs (``k*N + node_id``);
-- tail-reporting ownership prepares (the new owner learns the object's
-  whole active log tail, like a Multi-Paxos view change);
-- position pinning: retries fight for their original instances until
-  the round is provably dead, so a command can never be chosen at two
-  position sets;
-- tenure staleness: pinned positions that outlive an ownership change
-  are re-prepared before any accept;
-- full-set recovery of forced multi-object commands over the instance
-  set their accept round used (``vdec_ins`` / ``Accept.cmd_ins``), and
-  dead-round no-op overwrites for unchoosable stale acceptances;
-- instance-scoped (non-dethroning) gap/recovery rounds;
-- no-op filling of holes discovered by prepares, NACK epoch catch-up,
-  jittered gap/forward/supervision timers for liveness under crashes
-  and message loss.
+``from repro.core.protocol import M2Paxos, M2PaxosConfig`` keeps
+working; new code may import from :mod:`repro.core.m2` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from repro.core.m2 import M2Paxos, M2PaxosConfig, SafetyViolation
+from repro.core.m2.config import _DECIDED_EPOCH
 
-from repro.consensus.base import (
-    Message,
-    Protocol,
-    ProtocolCosts,
-    classic_quorum_size,
-)
-from repro.consensus.commands import Command, make_noop
-from repro.core.delivery import DeliveryEngine
-from repro.core.policy import ACQUIRE, FORWARD, OnDemandPolicy
-from repro.core.messages import (
-    Accept,
-    AckAccept,
-    AckPrepare,
-    Decide,
-    Forward,
-    Instance,
-    Prepare,
-)
-from repro.core.state import M2PaxosState
-
-_DECIDED_EPOCH = 1 << 30
-"""Sentinel epoch reported for already-decided instances in prepare
-replies, so SELECT always re-forces the decided command."""
-
-
-class SafetyViolation(AssertionError):
-    """Two different commands decided for the same instance."""
-
-
-@dataclass(frozen=True)
-class M2PaxosConfig:
-    """Tunables (timeouts in seconds of env time)."""
-
-    forward_timeout: float = 0.05
-    retry_backoff: float = 0.002
-    gap_check_period: float = 0.2
-    gap_timeout: float = 0.4
-    # Proposer-side supervision: re-coordinate a command that has not
-    # been decided after this long.  NACK-triggered retries cover rounds
-    # that fail loudly; this covers rounds lost to message drops or
-    # crashes.  Must exceed worst-case decision latency (tune up for
-    # saturation benchmarks).
-    supervise_timeout: float = 1.5
-    # Abandon a prepare round whose quorum of replies never arrives
-    # (message loss), releasing the per-object acquisition guard.
-    round_timeout: float = 0.6
-    ack_to_all: bool = False
-    max_forward_hops: int = 1
-    gap_recovery: bool = True
-    paranoid: bool = True
-    # Optional deterministic epoch-0 ownership map (``l -> node id``),
-    # identical on every node.  Lets an application with a natural data
-    # partitioning (e.g. TPC-C warehouses) start on the fast path
-    # without first-touch acquisitions; any node can still take objects
-    # over by preparing epoch 1.
-    home_hint: Optional[Callable[[str], int]] = None
-    # When-to-acquire policy (Section IV-C calls this an orthogonal
-    # problem); None means the paper's on-demand policy.  See
-    # repro.core.policy.
-    policy: Optional[object] = None
-
-
-@dataclass
-class _PendingAccept:
-    command: Optional[Command]  # retried on NACK when set
-    to_decide: dict[Instance, Command]
-    eps: dict[Instance, int]
-    done: bool = False  # a NACK arrived; retry handling has run
-    announced: bool = False  # Decide broadcast sent
-
-
-@dataclass
-class _PendingPrepare:
-    """An in-flight prepare round.
-
-    ``kind`` is one of:
-
-    - ``"acquisition"``: ownership acquisition for our own ``command``
-      (Algorithm 4);
-    - ``"gap"``: frontier recovery of one stalled instance
-      (``command`` is None; unforced instances become no-ops);
-    - ``"recover"``: atomic re-proposal of a forced multi-object
-      ``command`` over its recorded instance set.
-    """
-
-    command: Optional[Command]
-    eps: dict[Instance, int]
-    kind: str = "acquisition"
-    replies: dict[
-        int, dict[Instance, tuple[Optional[Command], int, tuple[Instance, ...]]]
-    ] = field(default_factory=dict)
-    done: bool = False
-    # Instances of objects we already owned when the round started (at
-    # their current epochs): not prepared -- re-electing ourselves would
-    # dethrone our own pipeline -- but included in the clean accept.
-    extra_eps: dict[Instance, int] = field(default_factory=dict)
-    # For kind == "recover": the command's authoritative full instance
-    # set (this round may cover only its still-undecided subset).
-    fins: tuple[Instance, ...] = ()
-
-
-class M2Paxos(Protocol):
-    """One node's M2Paxos instance.  Bind to an Env, then feed events."""
-
-    # M2Paxos has no dependency computation and no shared metadata on
-    # the critical path, hence the cheaper per-message handler and the
-    # near-zero serial fraction ("there is no time consuming operation
-    # performed on its critical path", Section I).
-    costs = ProtocolCosts(base_cost=120e-6, serial_fraction=0.03)
-
-    def __init__(self, config: Optional[M2PaxosConfig] = None) -> None:
-        super().__init__()
-        self.config = config or M2PaxosConfig()
-        self.policy = self.config.policy or OnDemandPolicy()
-        self.state = M2PaxosState(home_hint=self.config.home_hint)
-        self.delivery: Optional[DeliveryEngine] = None
-        self._req_counter = 0
-        self._noop_counter = 0
-        self._pending_accepts: dict[int, _PendingAccept] = {}
-        self._pending_prepares: dict[int, _PendingPrepare] = {}
-        self._attempts: dict[tuple[int, int], int] = {}
-        self._active_recoveries: set[tuple[int, int]] = set()
-        self._acquiring: set[str] = set()
-        self._deferred: list[Command] = []
-        # Instance set assigned to each of our in-flight commands.  A
-        # NACKed round may nevertheless have been *chosen* (a quorum of
-        # ACKs can coexist with the NACK we saw), so retries must fight
-        # for the SAME positions; re-proposing elsewhere could decide
-        # the command at two position sets, whose relative orders with
-        # other commands can contradict across objects.  Fresh positions
-        # are taken only once the old round is provably dead (one of its
-        # instances decided with a different command).
-        self._assigned: dict[tuple[int, int], dict[str, int]] = {}
-        # Diagnostics consumed by the benchmark harness.
-        self.stats = {
-            "fast_path": 0,
-            "forwarded": 0,
-            "acquisitions": 0,
-            "accept_nacks": 0,
-            "prepare_nacks": 0,
-            "gap_recoveries": 0,
-        }
-
-    # ------------------------------------------------------------------
-    # Lifecycle
-    # ------------------------------------------------------------------
-
-    def bind(self, env) -> None:
-        super().bind(env)
-        self.delivery = DeliveryEngine(self.state, self._on_append)
-
-    def on_start(self) -> None:
-        if self.config.gap_recovery:
-            self._schedule_gap_check()
-
-    @property
-    def quorum(self) -> int:
-        return classic_quorum_size(self.env.n_nodes)
-
-    def _next_req(self) -> int:
-        self._req_counter += 1
-        return self._req_counter
-
-    # ------------------------------------------------------------------
-    # Coordination phase (Algorithm 1)
-    # ------------------------------------------------------------------
-
-    def propose(self, command: Command) -> None:
-        self.policy.on_local_request(self.env.node_id, command)
-        self._coordinate(command, hops=0)
-        self._supervise(command)
-
-    def _supervise(self, command: Command) -> None:
-        """Watch our own proposal until it is decided (liveness under
-        message loss: a silently lost round never produces a NACK)."""
-        if self.config.supervise_timeout <= 0:
-            return
-        period = self.config.supervise_timeout * (1.0 + 0.5 * self.env.rng.random())
-
-        def check() -> None:
-            if not self._fully_decided(command):
-                self._coordinate(command, hops=0)
-                self._supervise(command)
-
-        self.env.set_timer(period, check)
-
-    def _pick_instances(self, command: Command) -> dict[Instance, int]:
-        """Choose the next free position per still-undecided object.
-
-        Returns ``{(l, in): epoch}`` with the *current* epoch (fast
-        path); the acquisition path overwrites the epochs.  Positions
-        are reserved immediately so pipelined proposals on the same
-        object never collide.
-        """
-        assigned = self._assigned.get(command.cid)
-        if assigned is not None:
-            fins = {(l, position) for l, (position, _e) in assigned.items()}
-            if self._round_is_dead(command, fins):
-                assigned = None  # provably unchoosable; safe to move
-        if assigned is None:
-            assigned = {}
-            for l in sorted(command.ls):
-                obj = self.state.obj(l)
-                position = max(obj.next_slot, obj.appended + 1)
-                # Remember the epoch the position was allocated under:
-                # if the object's epoch moves on, the position may have
-                # been touched by an interim owner and must be prepared
-                # (phase 1) before any further accept.
-                assigned[l] = (position, obj.epoch)
-            self._assigned[command.cid] = assigned
-        eps: dict[Instance, int] = {}
-        for l, (position, _alloc_epoch) in assigned.items():
-            if self.state.is_decided_for(l, command):
-                continue
-            obj = self.state.obj(l)
-            obj.observe_position(position)
-            eps[(l, position)] = obj.epoch
-        return eps
-
-    def _stale_instances(self, command: Command) -> set[Instance]:
-        """Assigned instances whose object epoch moved since allocation."""
-        assigned = self._assigned.get(command.cid) or {}
-        stale = set()
-        for l, (position, alloc_epoch) in assigned.items():
-            if self.state.obj(l).epoch != alloc_epoch:
-                stale.add((l, position))
-        return stale
-
-    def _coordinate(self, command: Command, hops: int) -> None:
-        undecided = [
-            l for l in command.ls if not self.state.is_decided_for(l, command)
-        ]
-        if not undecided:
-            return
-
-        me = self.env.node_id
-        if all(self._is_current_owner(l) for l in undecided):
-            eps = self._pick_instances(command)
-            if eps and not self._stale_instances(command):
-                self.stats["fast_path"] += 1
-                self._accept_phase(
-                    command, eps, full_ins=self._full_ins(command, eps)
-                )
-                return
-            if eps:
-                # A pinned position outlived an ownership change: it may
-                # have been touched at another epoch, so run phase 1.
-                self._acquisition_phase(command)
-            return
-
-        if any(l in self._acquiring for l in undecided):
-            # We are already acquiring (some of) these objects for an
-            # earlier command; queue FIFO and re-coordinate once that
-            # settles, rather than launching a second epoch war against
-            # ourselves.  Preserving order here is what keeps a burst of
-            # pipelined proposals delivered in submission order.
-            self._deferred.append(command)
-            return
-
-        owners = {self.state.obj(l).owner for l in undecided}
-        if (
-            len(owners) == 1
-            and None not in owners
-            and me not in owners
-            and hops < self.config.max_forward_hops
-        ):
-            (owner,) = owners
-            self.stats["forwarded"] += 1
-            self.env.send(owner, Forward(command=command, hops=hops + 1))
-            self._arm_forward_timeout(command)
-            return
-
-        # No usable single owner: the ownership policy decides between
-        # reshuffling here or forwarding to a better-placed node
-        # (Section IV-C: when-to-acquire is a pluggable, orthogonal
-        # choice; the default acquires on demand, as in the paper).
-        owner_map = {l: self.state.obj(l).owner for l in undecided}
-        action, target = self.policy.decide(me, command, owner_map)
-        if (
-            action == FORWARD
-            and target is not None
-            and target != me
-            and hops < self.config.max_forward_hops
-        ):
-            self.stats["forwarded"] += 1
-            self.env.send(target, Forward(command=command, hops=hops + 1))
-            self._arm_forward_timeout(command)
-            return
-        self._acquisition_phase(command)
-
-    def _full_ins(
-        self, command: Command, eps: dict[Instance, int]
-    ) -> Optional[tuple[Instance, ...]]:
-        """The command's authoritative full instance set, when the round
-        at hand covers only part of it (siblings already decided)."""
-        assigned = self._assigned.get(command.cid)
-        if assigned is None or len(assigned) == len(eps):
-            return None
-        return tuple(
-            (l, position) for l, (position, _epoch) in sorted(assigned.items())
-        )
-
-    def _drain_deferred(self) -> None:
-        if not self._deferred:
-            return
-        queued, self._deferred = self._deferred, []
-        for command in queued:
-            self._coordinate(command, hops=0)
-
-    def _is_current_owner(self, l: str) -> bool:
-        """IsOwner(p_i, l): we acquired ``l`` and nobody has started a
-        higher epoch since (a raised epoch means our leadership is being
-        taken over, so fast-path rounds would only be refused)."""
-        obj = self.state.obj(l)
-        return (
-            obj.owner == self.env.node_id
-            and obj.owner_epoch == obj.epoch
-            and obj.promised <= obj.epoch
-        )
-
-    def _arm_forward_timeout(self, command: Command) -> None:
-        def on_timeout() -> None:
-            if not self._fully_decided(command):
-                # Take over: the owner may have crashed or lost ownership.
-                self._acquisition_phase(command)
-
-        jitter = 1.0 + 0.2 * self.env.rng.random()
-        self.env.set_timer(self.config.forward_timeout * jitter, on_timeout)
-
-    def _fully_decided(self, command: Command) -> bool:
-        return all(self.state.is_decided_for(l, command) for l in command.ls)
-
-    def _retry(self, command: Command) -> None:
-        """Re-run the coordination phase after a randomised backoff.
-
-        The backoff grows with the attempt count; this is the practical
-        concession the paper makes in Section IV-C ("an unbounded
-        sequence of restarts") -- safety never depends on it.
-        """
-        attempt = self._attempts.get(command.cid, 0) + 1
-        self._attempts[command.cid] = attempt
-        delay = self.config.retry_backoff * attempt * (0.5 + self.env.rng.random())
-
-        def fire() -> None:
-            if not self._fully_decided(command):
-                self._coordinate(command, hops=0)
-
-        self.env.set_timer(delay, fire)
-
-    # ------------------------------------------------------------------
-    # Accept phase (Algorithm 2)
-    # ------------------------------------------------------------------
-
-    def _accept_phase(
-        self,
-        command: Command,
-        eps: dict[Instance, int],
-        full_ins: Optional[tuple[Instance, ...]] = None,
-        scoped: bool = False,
-    ) -> None:
-        """Plain accept of ``command`` at all its instances (fast path,
-        clean acquisitions, and full-set recoveries)."""
-        cmd_ins = {command.cid: full_ins} if full_ins else None
-        self._send_accept_round(
-            {inst: command for inst in eps},
-            eps,
-            retry_command=command,
-            cmd_ins=cmd_ins,
-            scoped=scoped,
-        )
-
-    def _send_accept_round(
-        self,
-        to_decide: dict[Instance, Command],
-        eps: dict[Instance, int],
-        retry_command: Optional[Command],
-        cmd_ins: Optional[dict[tuple[int, int], tuple[Instance, ...]]] = None,
-        scoped: bool = False,
-    ) -> None:
-        req = self._next_req()
-        self._pending_accepts[req] = _PendingAccept(
-            command=retry_command,
-            to_decide=dict(to_decide),
-            eps={inst: eps[inst] for inst in to_decide},
-        )
-        self.env.broadcast(
-            Accept(
-                req=req,
-                to_decide=dict(to_decide),
-                eps={inst: eps[inst] for inst in to_decide},
-                cmd_ins=cmd_ins or {},
-                scoped=scoped,
-            )
-        )
-
-    def _on_accept(self, sender: int, msg: Accept) -> None:
-        refused = False
-        max_rnd = 0
-        for inst, epoch in msg.eps.items():
-            inst_state = self.state.inst(inst)
-            obj = self.state.obj(inst[0])
-            max_rnd = max(max_rnd, inst_state.rnd, obj.promised)
-            if inst_state.rnd > epoch:
-                refused = True
-            if not msg.scoped and obj.promised > epoch:
-                # Object-level leadership: a higher epoch was prepared,
-                # so this accept comes from a dethroned owner.  Scoped
-                # rounds arbitrate purely on the instance's rnd.
-                refused = True
-            existing = self.state.decided_at(inst)
-            if existing is not None and existing.cid != msg.to_decide[inst].cid:
-                # The instance is already burned with a different command;
-                # never vote for a second value.
-                refused = True
-            # Either way, remember the position was used: our own picks
-            # must steer clear of it.
-            obj.observe_position(inst[1])
-
-        if refused:
-            self.env.send(
-                sender,
-                AckAccept(
-                    req=msg.req,
-                    coordinator=sender,
-                    ok=False,
-                    cids={},
-                    eps=msg.eps,
-                    max_rnd=max_rnd,
-                ),
-            )
-            return
-
-        # Each accepted value remembers the full instance set it was
-        # proposed with (what a later forced recovery must cover
-        # atomically): taken from the message's authoritative map when
-        # present, else derived by grouping the round's instances.
-        ins_of: dict[tuple[int, int], tuple[Instance, ...]] = dict(msg.cmd_ins)
-        for inst, cmd in msg.to_decide.items():
-            if cmd.cid not in ins_of:
-                ins_of[cmd.cid] = tuple(
-                    i for i, c in msg.to_decide.items() if c.cid == cmd.cid
-                )
-
-        for inst, epoch in msg.eps.items():
-            l, position = inst
-            inst_state = self.state.inst(inst)
-            inst_state.rnd = epoch
-            inst_state.rdec = epoch
-            inst_state.vdec = msg.to_decide[inst]
-            inst_state.vdec_ins = ins_of[msg.to_decide[inst].cid]
-            obj = self.state.obj(l)
-            if not msg.scoped:
-                # Only leadership rounds transfer ownership.
-                obj.owner = sender
-                obj.owner_epoch = epoch
-                obj.promised = max(obj.promised, epoch)
-                obj.epoch = max(obj.epoch, epoch)
-            obj.observe_position(position)
-            self.state.gap_candidates.add(l)
-
-        ack = AckAccept(
-            req=msg.req,
-            coordinator=sender,
-            ok=True,
-            cids={inst: cmd.cid for inst, cmd in msg.to_decide.items()},
-            eps=msg.eps,
-        )
-        if self.config.ack_to_all:
-            self.env.broadcast(ack)
-        else:
-            self.env.send(sender, ack)
-        if sender == self.env.node_id:
-            # Our own accept landed: ownership is now recorded locally,
-            # so deferred commands can take the fast path.
-            self._drain_deferred()
-
-    def _on_ack_accept(self, sender: int, msg: AckAccept) -> None:
-        if not msg.ok:
-            pending = self._pending_accepts.get(msg.req)
-            if pending is None or pending.done:
-                return
-            pending.done = True
-            self.stats["accept_nacks"] += 1
-            for (l, _position), _epoch in msg.eps.items():
-                obj = self.state.obj(l)
-                obj.epoch = max(obj.epoch, msg.max_rnd)
-            # Failed recoveries must be re-runnable (by us or by the gap
-            # checker); a leaked active flag would block them forever.
-            for cmd in pending.to_decide.values():
-                self._active_recoveries.discard(cmd.cid)
-            if pending.command is not None:
-                self._retry(pending.command)
-            return
-
-        # Count votes per instance; with ack_to_all every node runs this
-        # and learns in two delays (Algorithm 3, lines 6-10); otherwise
-        # only the coordinator does and the others learn via Decide.
-        ready = True
-        for inst, cid in msg.cids.items():
-            votes = self.state.record_ack(inst, msg.eps[inst], cid, sender)
-            if votes < self.quorum:
-                ready = False
-        if not ready:
-            return
-
-        pending = (
-            self._pending_accepts.get(msg.req)
-            if msg.coordinator == self.env.node_id
-            else None
-        )
-        # The ack carries ids only; resolve the command bodies from the
-        # coordinator's pending round or from our own accepted values
-        # (a node that missed the Accept learns from the Decide instead).
-        for inst, cid in msg.cids.items():
-            command = pending.to_decide.get(inst) if pending is not None else None
-            if command is None or command.cid != cid:
-                inst_state = self.state.instances.get(inst)
-                vdec = inst_state.vdec if inst_state is not None else None
-                command = vdec if vdec is not None and vdec.cid == cid else None
-            if command is not None:
-                self._decide(inst, command)
-
-        if pending is not None and not pending.announced:
-            # Announce even if a NACK marked the round done earlier: a
-            # quorum of ACKs means the values ARE chosen, and silence
-            # here would strand the decision at this node alone.
-            pending.announced = True
-            pending.done = True
-            self.env.broadcast(
-                Decide(to_decide=pending.to_decide), include_self=False
-            )
-            for cmd in pending.to_decide.values():
-                self._active_recoveries.discard(cmd.cid)
-
-    # ------------------------------------------------------------------
-    # Decision phase (Algorithm 3)
-    # ------------------------------------------------------------------
-
-    def _on_decide(self, sender: int, msg: Decide) -> None:
-        ins_of: dict[tuple[int, int], tuple[Instance, ...]] = {}
-        for inst, cmd in msg.to_decide.items():
-            # A node that missed the Accept still learns the value and
-            # its round's instance set, so its prepare replies can route
-            # recoveries correctly.
-            inst_state = self.state.inst(inst)
-            if inst_state.vdec is None:
-                if cmd.cid not in ins_of:
-                    ins_of[cmd.cid] = tuple(
-                        i for i, c in msg.to_decide.items() if c.cid == cmd.cid
-                    )
-                inst_state.vdec = cmd
-                inst_state.vdec_ins = ins_of[cmd.cid]
-            self._decide(inst, cmd)
-
-    def _decide(self, inst: Instance, command: Command) -> None:
-        l, position = inst
-        existing = self.state.decided_at(inst)
-        if existing is not None:
-            if self.config.paranoid and existing.cid != command.cid:
-                if existing.noop and command.noop:
-                    # Two recovery rounds racing to fill the same hole
-                    # may carry distinct no-op ids; no-ops are
-                    # semantically identical (they only advance the
-                    # frontier and are never delivered), so either one
-                    # standing is consistent.
-                    return
-                raise SafetyViolation(
-                    f"instance {inst}: {existing} already decided, got {command}"
-                )
-            return
-        assert self.delivery is not None
-        self.delivery.record_decision(l, position, command, self.env.now())
-        appended = self.delivery.pump(dirty=command.ls)
-        # Every object whose frontier may have moved goes (back) on the
-        # gap checker's radar; the checker discards clean ones itself.
-        self.state.gap_candidates.update(command.ls)
-        for done in appended:
-            self.state.gap_candidates.update(done.ls)
-
-    def _on_append(self, command: Command) -> None:
-        """A command reached the C-struct: deliver it upward."""
-        self._attempts.pop(command.cid, None)
-        self._assigned.pop(command.cid, None)
-        if not command.noop:
-            self.env.deliver(command)
-
-    # ------------------------------------------------------------------
-    # Acquisition phase (Algorithm 4)
-    # ------------------------------------------------------------------
-
-    def _prepare_round(
-        self,
-        command: Optional[Command],
-        instances: list[Instance],
-        kind: str,
-        extra_eps: Optional[dict[Instance, int]] = None,
-        fins: tuple[Instance, ...] = (),
-    ) -> None:
-        scoped = kind in ("gap", "recover")
-        eps: dict[Instance, int] = {}
-        bumped: set[str] = set()
-        for inst in instances:
-            obj = self.state.obj(inst[0])
-            if scoped:
-                # Instance-level ballot only: above anything seen, but
-                # never claiming the object (no dethroning).
-                floor = max(
-                    self.state.inst(inst).rnd, obj.epoch, obj.promised
-                )
-                eps[inst] = self._next_epoch(floor)
-            else:
-                # One new epoch per *object* per round: instances of the
-                # same object share it, so the follow-up accept is never
-                # refused against the promise this round created.
-                if inst[0] not in bumped:
-                    obj.epoch = self._next_epoch(
-                        max(obj.epoch, obj.promised)
-                    )
-                    bumped.add(inst[0])
-                eps[inst] = obj.epoch
-            obj.observe_position(inst[1])
-        req = self._next_req()
-        self._pending_prepares[req] = _PendingPrepare(
-            command=command,
-            eps=eps,
-            kind=kind,
-            extra_eps=extra_eps or {},
-            fins=fins,
-        )
-        self.env.broadcast(Prepare(req=req, eps=eps, scoped=scoped))
-        if self.config.round_timeout > 0:
-            self._arm_round_timeout(req)
-
-    def _next_epoch(self, floor: int) -> int:
-        """The smallest epoch above ``floor`` that belongs to this node.
-
-        Epochs are striped ``k * N + node_id``, making every epoch value
-        globally unique: no two nodes can ever run rounds at the same
-        ballot, which is what rules out same-epoch duelling coordinators
-        structurally.
-        """
-        n = self.env.n_nodes
-        k = floor // n + 1
-        return k * n + self.env.node_id
-
-    def _arm_round_timeout(self, req: int) -> None:
-        def expire() -> None:
-            pending = self._pending_prepares.pop(req, None)
-            if pending is None or pending.done:
-                return
-            pending.done = True
-            if pending.kind == "acquisition":
-                self._acquiring.difference_update(l for l, _p in pending.eps)
-                self._drain_deferred()
-            elif pending.kind == "recover" and pending.command is not None:
-                self._active_recoveries.discard(pending.command.cid)
-
-        jitter = 1.0 + 0.5 * self.env.rng.random()
-        self.env.set_timer(self.config.round_timeout * jitter, expire)
-
-    def _acquisition_phase(self, command: Command) -> None:
-        eps = self._pick_instances(command)
-        if not eps:
-            return
-        # Only skip phase 1 for objects we currently own AND whose
-        # assigned instance is still from our tenure: re-preparing our
-        # own fresh pipeline would NACK it, but a stale instance may
-        # have been touched at another epoch and must be prepared.
-        stale = self._stale_instances(command)
-        owned = {
-            inst: epoch
-            for inst, epoch in eps.items()
-            if self._is_current_owner(inst[0]) and inst not in stale
-        }
-        missing = {inst: epoch for inst, epoch in eps.items() if inst not in owned}
-        if not missing:
-            # Races can make everything owned by the time we get here.
-            self._accept_phase(command, eps)
-            return
-        self.stats["acquisitions"] += 1
-        self._acquiring.update(inst[0] for inst in missing)
-        full = self._full_ins(command, eps)
-        self._prepare_round(
-            command,
-            list(missing),
-            kind="acquisition",
-            extra_eps=owned,
-            fins=full or (),
-        )
-
-    GAP_BATCH = 16
-
-    def _recover_gap(self, l: str, position: int) -> None:
-        """Prepare the stalled instances of ``l`` to either learn their
-        pending commands or fill them with no-ops (crash recovery,
-        Section IV intro).  Batched: one round covers every open
-        position up to the highest decided one, so a burst of abandoned
-        reservations heals in one shot instead of one per timeout."""
-        self.stats["gap_recoveries"] += 1
-        obj = self.state.obj(l)
-        top = min(obj.max_decided(), position + self.GAP_BATCH)
-        instances = [
-            (l, p)
-            for p in range(position, max(top, position) + 1)
-            if p not in obj.decided
-        ] or [(l, position)]
-        self._prepare_round(None, instances, kind="gap")
-
-    def _schedule_recover_command(
-        self, command: Command, fins: tuple[Instance, ...]
-    ) -> None:
-        """Atomically re-propose a forced multi-object command over the
-        full instance set its original accept round used.
-
-        Re-deciding it at a single instance could split its decision
-        across positions chosen at different times, which can knot the
-        per-object delivery orders into a cycle -- so recovery always
-        covers the recorded set.
-        """
-        if command.cid in self._active_recoveries:
-            return
-        self._active_recoveries.add(command.cid)
-
-        def fire() -> None:
-            remaining = [
-                inst for inst in fins if self.state.decided_at(inst) is None
-            ]
-            if not remaining:
-                self._active_recoveries.discard(command.cid)
-                return
-            if self._round_is_dead(command, set(fins)):
-                # The command lost one of its instances to another
-                # command: fill the leftovers as plain gaps (no-ops).
-                self._active_recoveries.discard(command.cid)
-                self._prepare_round(None, remaining, kind="gap")
-                return
-            self._prepare_round(command, remaining, kind="recover", fins=fins)
-
-        jitter = self.config.retry_backoff * (0.5 + self.env.rng.random())
-        self.env.set_timer(jitter, fire)
-
-    TAIL_REPORT_CAP = 64
-
-    def _on_prepare(self, sender: int, msg: Prepare) -> None:
-        refused = False
-        max_rnd = 0
-        for inst, epoch in msg.eps.items():
-            inst_state = self.state.inst(inst)
-            obj = self.state.obj(inst[0])
-            max_rnd = max(max_rnd, inst_state.rnd)
-            if inst_state.rnd >= epoch:
-                refused = True
-            if not msg.scoped:
-                max_rnd = max(max_rnd, obj.promised)
-                if obj.promised >= epoch:
-                    refused = True
-            # Record the attempted position either way: our own next
-            # picks must steer clear of it.
-            obj.observe_position(inst[1])
-
-        if refused:
-            self.env.send(
-                sender, AckPrepare(req=msg.req, ok=False, max_rnd=max_rnd)
-            )
-            return
-
-        if msg.scoped:
-            # Instance-scoped phase 1: promise and report only the
-            # requested instances; the object's leadership is untouched.
-            decs: dict[
-                Instance, tuple[Optional[Command], int, tuple[Instance, ...]]
-            ] = {}
-            for inst, epoch in msg.eps.items():
-                inst_state = self.state.inst(inst)
-                inst_state.rnd = epoch
-                self.state.gap_candidates.add(inst[0])
-                decided = self.state.decided_at(inst)
-                if decided is not None:
-                    ins = (
-                        inst_state.vdec_ins
-                        if inst_state.vdec is not None
-                        and inst_state.vdec.cid == decided.cid
-                        else (inst,)
-                    )
-                    decs[inst] = (decided, _DECIDED_EPOCH, ins)
-                else:
-                    decs[inst] = (
-                        inst_state.vdec,
-                        inst_state.rdec,
-                        inst_state.vdec_ins,
-                    )
-            self.env.send(sender, AckPrepare(req=msg.req, ok=True, decs=decs))
-            return
-
-        # A promise for epoch e covers the *whole object*, so the reply
-        # reports every instance at/above the requested position that
-        # carries activity -- exactly Multi-Paxos's view change, where
-        # the new leader learns the log tail.  Without this, the new
-        # owner could run fast-path rounds over instances where an
-        # older-epoch quorum already chose a value it never saw.
-        decs: dict[Instance, tuple[Optional[Command], int, tuple[Instance, ...]]] = {}
-        for inst, epoch in msg.eps.items():
-            l, position = inst
-            obj = self.state.obj(l)
-            obj.promised = max(obj.promised, epoch)
-            obj.epoch = max(obj.epoch, epoch)
-            self.state.gap_candidates.add(l)
-            tail = self.state.positions_with_activity(l, position)
-            for p in [position] + tail[: self.TAIL_REPORT_CAP]:
-                report_inst = (l, p)
-                inst_state = self.state.inst(report_inst)
-                # The promise covers every reported instance, exactly as
-                # a Multi-Paxos promise covers the whole log: otherwise a
-                # lower-ballot scoped round could slip in between this
-                # report and the new owner's hole-filling accept.
-                inst_state.rnd = max(inst_state.rnd, epoch)
-                decided = self.state.decided_at(report_inst)
-                if decided is not None:
-                    ins = (
-                        inst_state.vdec_ins
-                        if inst_state.vdec is not None
-                        and inst_state.vdec.cid == decided.cid
-                        else (report_inst,)
-                    )
-                    decs[report_inst] = (decided, _DECIDED_EPOCH, ins)
-                else:
-                    decs[report_inst] = (
-                        inst_state.vdec,
-                        inst_state.rdec,
-                        inst_state.vdec_ins,
-                    )
-        self.env.send(sender, AckPrepare(req=msg.req, ok=True, decs=decs))
-
-    def _on_ack_prepare(self, sender: int, msg: AckPrepare) -> None:
-        pending = self._pending_prepares.get(msg.req)
-        if pending is None or pending.done:
-            return
-
-        if not msg.ok:
-            pending.done = True
-            self.stats["prepare_nacks"] += 1
-            for (l, _position) in pending.eps:
-                obj = self.state.obj(l)
-                obj.epoch = max(obj.epoch, msg.max_rnd)
-            if pending.kind == "acquisition":
-                self._acquiring.difference_update(l for l, _p in pending.eps)
-                self._retry(pending.command)
-                self._drain_deferred()
-            elif pending.kind == "recover":
-                # A competing round is active; the gap checker re-fires
-                # recovery if the frontier stays stuck.
-                self._active_recoveries.discard(pending.command.cid)
-            return
-
-        pending.replies[sender] = msg.decs
-        if len(pending.replies) < self.quorum:
-            return
-        pending.done = True
-        if pending.kind == "acquisition":
-            self._acquiring.difference_update(l for l, _p in pending.eps)
-        self._resolve_prepared(pending)
-
-    def _resolve_prepared(self, pending: _PendingPrepare) -> None:
-        """Turn a prepared round into accept rounds, honouring forced
-        values (Paxos phase 2a over multiple instances).
-
-        The replies may report *more* instances than were asked for: the
-        object's whole active tail.  Decided reports are learned on the
-        spot; accepted-but-undecided ones are forced like any phase-1
-        discovery, at the object's prepared epoch.
-        """
-        # Union of requested and reported instances, each with an epoch.
-        object_epoch: dict[str, int] = {}
-        for (l, _p), epoch in pending.eps.items():
-            object_epoch[l] = max(object_epoch.get(l, 0), epoch)
-        eps = dict(pending.eps)
-        for decs in pending.replies.values():
-            for inst in decs:
-                eps.setdefault(inst, object_epoch.get(inst[0], 0))
-        selected = self._select(eps, pending.replies)
-
-        # Learn decided reports immediately; they leave the round.
-        decided_foreign = False
-        for inst in list(selected):
-            forced, fep, _fins = selected[inst]
-            self.state.obj(inst[0]).observe_position(inst[1])
-            if forced is not None and fep >= _DECIDED_EPOCH:
-                self._decide(inst, forced)
-                if pending.command is not None and (
-                    inst in pending.eps and forced.cid != pending.command.cid
-                ):
-                    decided_foreign = True
-                del selected[inst]
-                eps.pop(inst, None)
-
-        round_insts = set(eps)
-        target = pending.command
-
-        clean = (
-            target is not None
-            and not decided_foreign
-            and all(
-                forced is None
-                or (forced.cid == target.cid and set(fins) <= round_insts)
-                for (forced, _epoch, fins) in selected.values()
-            )
-        )
-        if clean:
-            to_decide: dict[Instance, Command] = {}
-            accept_eps = dict(pending.extra_eps)
-            for inst in pending.extra_eps:
-                to_decide[inst] = target
-            for inst in pending.eps:
-                if inst in eps:  # not learned as decided above
-                    accept_eps[inst] = eps[inst]
-                    to_decide[inst] = target
-            # Reported-but-empty instances are holes the previous owner
-            # left behind (reserved or refused rounds); fill them with
-            # no-ops in the same atomic round so the frontier can never
-            # stall on them.
-            for inst in eps:
-                if inst not in to_decide and selected.get(inst, (None,))[0] is None:
-                    self._noop_counter += 1
-                    to_decide[inst] = make_noop(
-                        inst[0], self.env.node_id, self._noop_counter
-                    )
-                    accept_eps[inst] = eps[inst]
-            cmd_ins = (
-                {target.cid: pending.fins} if pending.fins else None
-            )
-            self._send_accept_round(
-                to_decide,
-                accept_eps,
-                retry_command=target,
-                cmd_ins=cmd_ins,
-                scoped=pending.kind in ("gap", "recover"),
-            )
-            return
-
-        # Conflicted (or pure gap) round: honour every forced value.
-        # Multi-object forced commands whose recorded instance set is
-        # not fully covered here are re-proposed atomically over that
-        # set; unforced instances are filled with no-ops so the round's
-        # prepared positions can never become permanent delivery gaps.
-        to_decide: dict[Instance, Command] = {}
-        cmd_ins: dict[tuple[int, int], tuple[Instance, ...]] = {}
-        recoveries: dict[tuple[int, int], tuple[Command, tuple[Instance, ...]]] = {}
-        for inst, (forced, _epoch, fins) in selected.items():
-            if forced is None:
-                self._noop_counter += 1
-                to_decide[inst] = make_noop(
-                    inst[0], self.env.node_id, self._noop_counter
-                )
-                continue
-            fins_set = set(fins) if fins else {inst}
-            if self._round_is_dead(forced, fins_set):
-                # One of the forced command's sibling instances is
-                # already decided with a *different* command, so its
-                # round never reached a quorum anywhere (the quorum
-                # would have covered the sibling too).  The stale
-                # acceptance is safe to overwrite with a no-op --
-                # resurrecting it would split its decision.
-                self._noop_counter += 1
-                to_decide[inst] = make_noop(
-                    inst[0], self.env.node_id, self._noop_counter
-                )
-                continue
-            group_ok = fins_set <= round_insts and all(
-                selected[i][0] is not None and selected[i][0].cid == forced.cid
-                for i in fins_set
-            )
-            if len(forced.ls) > 1 and fins_set != {inst} and not group_ok:
-                recoveries[forced.cid] = (forced, tuple(fins))
-                continue
-            to_decide[inst] = forced
-            if fins:
-                cmd_ins[forced.cid] = tuple(fins)
-        if to_decide:
-            self._send_accept_round(
-                to_decide,
-                eps,
-                retry_command=None,
-                cmd_ins=cmd_ins,
-                scoped=pending.kind in ("gap", "recover"),
-            )
-        for forced, fins in recoveries.values():
-            self._schedule_recover_command(forced, fins)
-        if pending.kind == "recover" and target is not None:
-            self._active_recoveries.discard(target.cid)
-        if pending.kind == "acquisition" and target is not None:
-            self._retry(target)
-
-    def _round_is_dead(
-        self, command: Command, fins_set: set[Instance]
-    ) -> bool:
-        """True if any of the command's round instances is decided with
-        a different command (hence the round never reached a quorum)."""
-        for inst in fins_set:
-            decided = self.state.decided_at(inst)
-            if decided is not None and decided.cid != command.cid:
-                return True
-        return False
-
-    @staticmethod
-    def _select(
-        eps: dict[Instance, int],
-        replies: dict[
-            int, dict[Instance, tuple[Optional[Command], int, tuple[Instance, ...]]]
-        ],
-    ) -> dict[Instance, tuple[Optional[Command], int, tuple[Instance, ...]]]:
-        """Paxos phase-2a value selection per instance (Algorithm 4,
-        lines 22-28): the command accepted in the highest epoch wins,
-        along with the instance set of the round that accepted it."""
-        out: dict[Instance, tuple[Optional[Command], int, tuple[Instance, ...]]] = {}
-        for inst in eps:
-            best: tuple[Optional[Command], int, tuple[Instance, ...]] = (None, -1, ())
-            for decs in replies.values():
-                cmd, epoch, fins = decs.get(inst, (None, -1, ()))
-                if cmd is not None and epoch > best[1]:
-                    best = (cmd, epoch, fins)
-            out[inst] = best if best[0] is not None else (None, 0, ())
-        return out
-
-    # ------------------------------------------------------------------
-    # Gap recovery timer
-    # ------------------------------------------------------------------
-
-    def _schedule_gap_check(self) -> None:
-        period = self.config.gap_check_period * (0.75 + 0.5 * self.env.rng.random())
-
-        def check() -> None:
-            self._check_gaps()
-            self._schedule_gap_check()
-
-        self.env.set_timer(period, check)
-
-    def _check_gaps(self) -> None:
-        assert self.delivery is not None
-        now = self.env.now()
-        for l in list(self.state.gap_candidates):
-            gap = self.delivery.undelivered_gap(l)
-            if gap is None:
-                self.state.gap_candidates.discard(l)
-                continue
-            obj = self.state.obj(l)
-            if now - obj.last_progress >= self.config.gap_timeout:
-                obj.last_progress = now  # rate-limit recovery attempts
-                self._recover_gap(l, gap)
-
-    # ------------------------------------------------------------------
-    # Dispatch
-    # ------------------------------------------------------------------
-
-    def on_message(self, sender: int, message: Message) -> None:
-        if isinstance(message, Accept):
-            self._on_accept(sender, message)
-        elif isinstance(message, AckAccept):
-            self._on_ack_accept(sender, message)
-        elif isinstance(message, Decide):
-            self._on_decide(sender, message)
-        elif isinstance(message, Prepare):
-            self._on_prepare(sender, message)
-        elif isinstance(message, AckPrepare):
-            self._on_ack_prepare(sender, message)
-        elif isinstance(message, Forward):
-            self._coordinate(message.command, hops=message.hops)
-        else:
-            raise TypeError(f"unexpected message: {message!r}")
+__all__ = ["M2Paxos", "M2PaxosConfig", "SafetyViolation", "_DECIDED_EPOCH"]

@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.consensus.base import Env, Message, Protocol, ProtocolCosts
+from repro.consensus.base import Env, Message, Protocol, ProtocolCosts, handles
 from repro.consensus.commands import Command
 from repro.consensus.multipaxos import MultiPaxos, MultiPaxosConfig
 from repro.core.protocol import M2Paxos, M2PaxosConfig
@@ -82,8 +82,13 @@ class _SubEnv(Env):
         self.node_id = switcher.env.node_id
         self.n_nodes = switcher.env.n_nodes
 
-    def send(self, dst: int, message: Message) -> None:
+    def _transmit(self, dst: int, message: Message) -> None:
         self._switcher.env.send(dst, Tagged(mode=self._mode, inner=message))
+
+    def send(self, dst: int, message: Message) -> None:
+        # Always wrap-and-forward immediately: batching happens in the
+        # switcher's own Env, whose outbox this send lands in.
+        self._transmit(dst, message)
 
     def set_timer(self, delay, callback):
         return self._switcher.env.set_timer(delay, callback)
@@ -214,6 +219,7 @@ class AdaptiveSwitcher(Protocol):
         self.stats["votes_sent"] += 1
         self.env.send(self.coordinator, SwitchVote(want=want, conflict_rate=rate))
 
+    @handles(SwitchVote)
     def _on_vote(self, sender: int, msg: SwitchVote) -> None:
         if self.env.node_id != self.coordinator:
             return
@@ -265,13 +271,9 @@ class AdaptiveSwitcher(Protocol):
 
     # ------------------------------------------------------------------
 
-    def on_message(self, sender: int, message: Message) -> None:
-        if isinstance(message, Tagged):
-            self._sub(message.mode).on_message(sender, message.inner)
-        elif isinstance(message, SwitchVote):
-            self._on_vote(sender, message)
-        else:
-            raise TypeError(f"unexpected message: {message!r}")
+    @handles(Tagged)
+    def _on_tagged(self, sender: int, msg: Tagged) -> None:
+        self._sub(msg.mode).on_message(sender, msg.inner)
 
     def processing_cost(self, message):
         if isinstance(message, Tagged):

@@ -30,6 +30,20 @@ class RunResult:
     bytes_sent: int
     proposed: int = 0
     extra: dict = field(default_factory=dict)
+    # Flush-point observability: every protocol event's sends pass
+    # through one Env flush, where the collector counts them by message
+    # type and sums payload bytes headed for the wire.
+    message_types: dict = field(default_factory=dict)
+    flush_batches: int = 0
+    wire_messages: int = 0
+    wire_bytes: int = 0
+
+    @property
+    def avg_batch_size(self) -> float:
+        """Messages per flush batch (1.0 means no batching win)."""
+        if self.flush_batches == 0:
+            return 0.0
+        return self.wire_messages / self.flush_batches
 
 
 class MetricsCollector:
@@ -45,8 +59,13 @@ class MetricsCollector:
         self._window_start: Optional[float] = None
         self._window_end: Optional[float] = None
         self.proposed = 0
+        self.message_types: dict[str, int] = {}
+        self.flush_batches = 0
+        self.wire_messages = 0
+        self.wire_bytes = 0
         for node in cluster.nodes:
             node.deliver_listeners.append(self._on_deliver)
+            node.env.add_flush_hook(self._on_flush)
 
     # ------------------------------------------------------------------
 
@@ -66,6 +85,14 @@ class MetricsCollector:
         if self._window_start is None or now < self._window_start:
             return False
         return self._window_end is None or now <= self._window_end
+
+    def _on_flush(self, src, queued, batches) -> None:
+        self.flush_batches += len(batches)
+        for _dst, message in queued:
+            name = type(message).__name__
+            self.message_types[name] = self.message_types.get(name, 0) + 1
+            self.wire_messages += 1
+            self.wire_bytes += message.size_bytes()
 
     def _on_deliver(self, node_id: int, command: Command, now: float) -> None:
         if command.cid not in self._first_delivery:
@@ -101,4 +128,8 @@ class MetricsCollector:
             messages_sent=self.cluster.network.messages_sent,
             bytes_sent=self.cluster.network.bytes_sent,
             proposed=self.proposed,
+            message_types=dict(self.message_types),
+            flush_batches=self.flush_batches,
+            wire_messages=self.wire_messages,
+            wire_bytes=self.wire_bytes,
         )

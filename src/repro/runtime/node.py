@@ -3,13 +3,22 @@
 The protocol object is single-threaded by construction: every inbound
 frame, timer, and proposal is dispatched on the event loop, so no locks
 are needed -- the same execution model as the simulator.
+
+Outbound traffic mirrors the simulator's outbox pipeline: each protocol
+event's sends are buffered, then flushed per destination.  A flush
+appends the encoded frames to a per-destination queue drained by a
+single sender task, which coalesces everything queued into one
+``writer.write`` and awaits ``drain()`` for backpressure.  One queue +
+one sender per destination means wire order always matches send order
+-- including across reconnects, where the old ad-hoc
+``_connect_and_send`` futures could race each other and direct writes.
 """
 
 from __future__ import annotations
 
 import asyncio
 import random
-from typing import Awaitable, Callable, Optional
+from typing import Callable, Optional
 
 from repro.consensus.base import Env, Message, Protocol, TimerHandle
 from repro.consensus.commands import Command
@@ -24,13 +33,19 @@ Address = tuple[str, int]
 
 
 class _AsyncTimer(TimerHandle):
-    __slots__ = ("_handle",)
+    """A live protocol timer; tracked by its node until fired/cancelled
+    so ``stop()`` can cancel stragglers."""
 
-    def __init__(self, handle: asyncio.TimerHandle) -> None:
-        self._handle = handle
+    __slots__ = ("_handle", "_registry")
+
+    def __init__(self, registry: set["_AsyncTimer"]) -> None:
+        self._handle: Optional[asyncio.TimerHandle] = None
+        self._registry = registry
 
     def cancel(self) -> None:
-        self._handle.cancel()
+        if self._handle is not None:
+            self._handle.cancel()
+        self._registry.discard(self)
 
 
 class RuntimeEnv(Env):
@@ -42,12 +57,31 @@ class RuntimeEnv(Env):
         self.n_nodes = len(node.peers)
         self._rng = random.Random(node.node_id * 7919 + 17)
 
-    def send(self, dst: int, message: Message) -> None:
-        self._node.send(dst, message)
+    def _transmit(self, dst: int, message: Message) -> None:
+        self._node.enqueue(dst, [message])
+
+    def _flush(
+        self,
+        queued: list[tuple[int, Message]],
+        batches: dict[int, list[Message]],
+    ) -> None:
+        # One enqueue per destination: the whole batch becomes a single
+        # coalesced write on that destination's connection.
+        for dst, messages in batches.items():
+            self._node.enqueue(dst, messages)
 
     def set_timer(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        node = self._node
         loop = asyncio.get_running_loop()
-        return _AsyncTimer(loop.call_later(delay, callback))
+        timer = _AsyncTimer(node._timers)
+
+        def fire() -> None:
+            node._timers.discard(timer)
+            node.run_event(callback)
+
+        timer._handle = loop.call_later(delay, fire)
+        node._timers.add(timer)
+        return timer
 
     def now(self) -> float:
         return asyncio.get_running_loop().time()
@@ -80,7 +114,9 @@ class RuntimeNode:
         self.deliver_listeners: list[Callable[[int, Command], None]] = []
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: dict[int, asyncio.StreamWriter] = {}
-        self._connecting: dict[int, asyncio.Lock] = {}
+        self._outgoing: dict[int, list[bytes]] = {}
+        self._senders: dict[int, asyncio.Task] = {}
+        self._timers: set[_AsyncTimer] = set()
         self._closed = False
 
         self.env = RuntimeEnv(self)
@@ -93,10 +129,22 @@ class RuntimeNode:
     async def start(self) -> None:
         host, port = self.peers[self.node_id]
         self._server = await asyncio.start_server(self._on_connection, host, port)
-        self.protocol.on_start()
+        self.run_event(self.protocol.on_start)
 
     async def stop(self) -> None:
         self._closed = True
+        # Protocol timers must not fire into a closed node: cancel every
+        # live handle (fired/cancelled timers deregister themselves).
+        for timer in list(self._timers):
+            timer.cancel()
+        self._timers.clear()
+        senders = list(self._senders.values())
+        self._senders.clear()
+        for task in senders:
+            task.cancel()
+        if senders:
+            await asyncio.gather(*senders, return_exceptions=True)
+        self._outgoing.clear()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -108,35 +156,66 @@ class RuntimeNode:
     # Outbound
     # ------------------------------------------------------------------
 
-    def propose(self, command: Command) -> None:
-        self.protocol.propose(command)
+    def run_event(self, fn: Callable[[], None]) -> None:
+        """Run one protocol event inside the env's outbox scope."""
+        if self._closed:
+            return
+        self.env.begin_event()
+        try:
+            fn()
+        finally:
+            self.env.end_event()
 
-    def send(self, dst: int, message: Message) -> None:
+    def propose(self, command: Command) -> None:
+        self.run_event(lambda: self.protocol.propose(command))
+
+    def enqueue(self, dst: int, messages: list[Message]) -> None:
+        """Queue one flush batch for ``dst`` and kick its sender task."""
+        if self._closed:
+            return
         if dst == self.node_id:
             # Local loopback: dispatch on the next loop tick so handlers
             # never re-enter the protocol synchronously.
             loop = asyncio.get_running_loop()
-            loop.call_soon(self._dispatch, self.node_id, message)
+            for message in messages:
+                loop.call_soon(self._dispatch, self.node_id, message)
             return
-        frame = encode_message(self.node_id, message)
-        writer = self._writers.get(dst)
-        if writer is not None and not writer.is_closing():
-            writer.write(frame)
-            return
-        asyncio.ensure_future(self._connect_and_send(dst, frame))
+        frames = b"".join(encode_message(self.node_id, m) for m in messages)
+        self._outgoing.setdefault(dst, []).append(frames)
+        sender = self._senders.get(dst)
+        if sender is None or sender.done():
+            self._senders[dst] = asyncio.ensure_future(self._drain_outgoing(dst))
 
-    async def _connect_and_send(self, dst: int, frame: bytes) -> None:
-        lock = self._connecting.setdefault(dst, asyncio.Lock())
-        async with lock:
+    async def _drain_outgoing(self, dst: int) -> None:
+        """Single writer for ``dst``: coalesce the queued frames into one
+        write, await ``drain()`` for backpressure, repeat until empty."""
+        while not self._closed:
+            pending = self._outgoing.get(dst)
+            if not pending:
+                return
             writer = self._writers.get(dst)
             if writer is None or writer.is_closing():
                 host, port = self.peers[dst]
                 try:
                     _reader, writer = await asyncio.open_connection(host, port)
                 except OSError:
-                    return  # peer down; retries ride on protocol timers
+                    # Peer down: drop the backlog; retries ride on the
+                    # protocol's own timers, which re-send fresh state.
+                    self._outgoing[dst] = []
+                    return
+                if self._closed:
+                    writer.close()
+                    return
                 self._writers[dst] = writer
-            writer.write(frame)
+            data = b"".join(self._outgoing[dst])
+            self._outgoing[dst] = []
+            writer.write(data)
+            try:
+                await writer.drain()
+            except (ConnectionResetError, OSError):
+                self._writers.pop(dst, None)
+                writer.close()
+                return
 
     # ------------------------------------------------------------------
     # Inbound
@@ -163,5 +242,4 @@ class RuntimeNode:
             writer.close()
 
     def _dispatch(self, sender: int, message: Message) -> None:
-        if not self._closed:
-            self.protocol.on_message(sender, message)
+        self.run_event(lambda: self.protocol.on_message(sender, message))

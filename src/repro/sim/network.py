@@ -14,7 +14,7 @@ failure-injection hooks used by the fault-tolerance tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.sim.event_loop import EventLoop
 from repro.sim.latency import FixedLatency, LatencyModel

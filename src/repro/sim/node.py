@@ -39,24 +39,47 @@ class SimEnv(Env):
         self.node_id = node.node_id
         self.n_nodes = node.network.n_nodes
 
-    def send(self, dst: int, message: Message) -> None:
+    def _transmit(self, dst: int, message: Message) -> None:
+        # Out-of-event send (tests poking a protocol directly): one
+        # message, one syscall's worth of CPU.
+        self._charge_send(n_messages=1, n_batches=1)
         node = self._node
-        # Sending costs CPU (serialisation + syscall); batching amortises
-        # it.  The cost occupies the sender's cores but does not delay the
-        # message itself (the NIC drains asynchronously).
-        cost = node.protocol.costs.send_cost
+        node.network.send(self.node_id, dst, message, message.size_bytes())
+
+    def _flush(
+        self,
+        queued: list[tuple[int, Message]],
+        batches: dict[int, list[Message]],
+    ) -> None:
+        # Sending costs CPU (serialisation + syscall); with batching on,
+        # one event's sends to the same destination share a single
+        # syscall, so the cost is charged once per *batch*.  The cost
+        # occupies the sender's cores but does not delay the messages
+        # (the NIC drains asynchronously).
+        self._charge_send(n_messages=len(queued), n_batches=len(batches))
+        node = self._node
+        # Transmit in issue order, not batch order: per-send latency
+        # draws and event-heap insertion stay identical to unbatched
+        # runs, keeping decision logs reproducible.
+        for dst, message in queued:
+            node.network.send(self.node_id, dst, message, message.size_bytes())
+
+    def _charge_send(self, n_messages: int, n_batches: int) -> None:
+        node = self._node
+        costs = node.protocol.costs
         if node.network.config.batching:
-            cost /= node.network.config.batch_factor
+            cost = costs.batched_send_cost * n_batches
+        else:
+            cost = costs.send_cost * n_messages
         if cost > 0:
             node.cpu.submit(node.loop.now, cost, 0.0)
-        node.network.send(self.node_id, dst, message, message.size_bytes())
 
     def set_timer(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
         node = self._node
 
         def fire() -> None:
             if not node.crashed:
-                callback()
+                node.run_event(callback)
 
         return _SimTimer(node.loop.schedule(delay, fire))
 
@@ -99,19 +122,34 @@ class SimNode:
 
     def start(self) -> None:
         """Run the protocol's startup hook (leader election etc.)."""
-        self.protocol.on_start()
+        self.run_event(self.protocol.on_start)
 
     # ------------------------------------------------------------------
     # Inbound events -- all charged to the CPU model.
     # ------------------------------------------------------------------
 
+    def run_event(self, fn: Callable[[], None]) -> None:
+        """Run one protocol event inside the env's outbox scope, so its
+        sends flush as batches when the event completes.  Exceptions
+        (e.g. SafetyViolation) still propagate; the depth counter is
+        restored either way."""
+        self.env.begin_event()
+        try:
+            fn()
+        finally:
+            self.env.end_event()
+
     def _charge_and_run(self, message: Optional[Message], fn: Callable[[], None]) -> None:
         cost, serial = self.protocol.processing_cost(message)
         done = self.cpu.submit(self.loop.now, cost, serial)
+
+        def run() -> None:
+            self.run_event(fn)
+
         if done <= self.loop.now:
-            fn()
+            run()
         else:
-            self.loop.schedule_at(done, fn)
+            self.loop.schedule_at(done, run)
 
     def _on_network_message(self, sender: int, message: object, size: int) -> None:
         if self.crashed:

@@ -20,9 +20,11 @@ from repro.sim.cluster import Cluster
 class TraceEvent:
     """One recorded event.
 
-    ``kind`` is ``"send"`` or ``"deliver"``; for sends, ``src``/``dst``
-    are node ids and ``message`` the protocol message; for delivery
-    events ``src`` is the delivering node and ``message`` the command.
+    ``kind`` is ``"send"``, ``"deliver"``, or ``"flush"``; for sends,
+    ``src``/``dst`` are node ids and ``message`` the protocol message;
+    for delivery events ``src`` is the delivering node and ``message``
+    the command; for flushes ``message`` is the tuple of messages one
+    event batched toward ``dst``.
     """
 
     time: float
@@ -37,7 +39,7 @@ class TraceEvent:
 
 
 class Tracer:
-    """Records sends and deliveries of a cluster."""
+    """Records sends, flush batches, and deliveries of a cluster."""
 
     def __init__(self, cluster: Cluster) -> None:
         self.cluster = cluster
@@ -46,6 +48,20 @@ class Tracer:
         cluster.network.send = self._traced_send  # type: ignore[method-assign]
         for node in cluster.nodes:
             node.deliver_listeners.append(self._on_deliver)
+            node.env.add_flush_hook(self._on_flush)
+
+    def _on_flush(self, src, queued, batches) -> None:
+        now = self.cluster.loop.now
+        for dst, messages in batches.items():
+            self.events.append(
+                TraceEvent(
+                    time=now,
+                    kind="flush",
+                    src=src,
+                    dst=dst,
+                    message=tuple(messages),
+                )
+            )
 
     def _traced_send(self, src: int, dst: int, message: object, size: int) -> None:
         self.events.append(
@@ -92,6 +108,18 @@ class Tracer:
             if event.kind == "deliver"
             and event.time >= since
             and (cid is None or event.message.cid == cid)
+        ]
+
+    def flushes(
+        self, src: Optional[int] = None, since: float = 0.0
+    ) -> list[TraceEvent]:
+        """Flush batches: one event per (protocol event, destination)."""
+        return [
+            event
+            for event in self.events
+            if event.kind == "flush"
+            and event.time >= since
+            and (src is None or event.src == src)
         ]
 
     def message_counts(self, since: float = 0.0) -> dict[str, int]:

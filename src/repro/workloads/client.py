@@ -15,7 +15,7 @@ when the consensus layer falls behind, exactly as described.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Protocol as TypingProtocol
+from typing import Optional, Protocol as TypingProtocol
 
 from repro.consensus.commands import Command
 from repro.metrics.collector import MetricsCollector

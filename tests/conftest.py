@@ -6,7 +6,6 @@ import random
 
 import pytest
 
-from repro.consensus.base import Protocol
 from repro.consensus.commands import Command
 from repro.consensus.epaxos import EPaxos
 from repro.consensus.paxos import ClassicPaxos

@@ -10,7 +10,7 @@ from repro.consensus.base import (
     fast_quorum_size,
 )
 from repro.consensus.commands import Command
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class TestQuorums:

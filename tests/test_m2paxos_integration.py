@@ -1,6 +1,5 @@
 """Integration tests: full M2Paxos clusters under the simulator."""
 
-import pytest
 
 from repro.consensus.commands import Command
 from repro.core.protocol import M2Paxos, M2PaxosConfig

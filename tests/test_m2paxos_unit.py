@@ -1,6 +1,5 @@
 """Unit tests for M2Paxos state, delivery engine, and SELECT rule."""
 
-import pytest
 
 from repro.consensus.commands import Command, make_noop
 from repro.core.delivery import DeliveryEngine

@@ -1,7 +1,7 @@
 """Tests for the simplified Mencius baseline."""
 
 from repro.consensus.commands import Command
-from repro.consensus.mencius import Mencius, MenciusConfig
+from repro.consensus.mencius import Mencius
 from repro.sim.latency import UniformLatency
 from repro.sim.network import NetworkConfig
 

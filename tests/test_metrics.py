@@ -5,7 +5,7 @@ import pytest
 from repro.consensus.commands import Command
 from repro.core.protocol import M2Paxos
 from repro.metrics.collector import MetricsCollector
-from repro.metrics.stats import Summary, mean, percentile, summarize
+from repro.metrics.stats import mean, percentile, summarize
 from repro.sim.cluster import Cluster, ClusterConfig
 
 

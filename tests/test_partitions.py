@@ -5,7 +5,6 @@ decisions on either side); liveness belongs only to the majority side,
 and must resume for everyone once the partition heals.
 """
 
-import pytest
 
 from repro.consensus.commands import Command
 from repro.consensus.multipaxos import MultiPaxos, MultiPaxosConfig

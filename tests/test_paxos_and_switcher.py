@@ -1,9 +1,8 @@
 """Tests for classic Paxos and the adaptive M2Paxos/Multi-Paxos switcher."""
 
-import pytest
 
 from repro.consensus.commands import Command
-from repro.consensus.paxos import ClassicPaxos, PaxosConfig
+from repro.consensus.paxos import ClassicPaxos
 from repro.core.switcher import AdaptiveSwitcher, SwitcherConfig, MODE_M2, MODE_MP
 
 from tests.conftest import assert_all_delivered, make_cluster, run_workload

@@ -2,7 +2,6 @@
 
 import asyncio
 
-import pytest
 
 from repro.consensus.commands import Command, CStruct
 from repro.consensus.epaxos import EpPreAccept

@@ -5,19 +5,11 @@ import random
 
 import pytest
 
-from repro.consensus.commands import Command
 from repro.core.protocol import M2Paxos
 from repro.sim.cluster import Cluster, ClusterConfig
 from repro.workloads.client import ClientConfig, OpenLoopClients
 from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
-from repro.workloads.tpcc import (
-    DELIVERY,
-    MIX,
-    NEW_ORDER,
-    PAYMENT,
-    TpccConfig,
-    TpccWorkload,
-)
+from repro.workloads.tpcc import MIX, TpccConfig, TpccWorkload
 
 
 class TestSyntheticWorkload:
