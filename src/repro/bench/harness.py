@@ -98,8 +98,13 @@ def build_workload(spec: PointSpec, rng: RngRegistry):
     raise ValueError(f"unknown workload {spec.workload!r}")
 
 
-def run_point(spec: PointSpec) -> RunResult:
-    """Simulate one datapoint and return its measurements."""
+def run_point(spec: PointSpec, record_spans: bool = False) -> RunResult:
+    """Simulate one datapoint and return its measurements.
+
+    With ``record_spans`` the run also keeps the full span log; the
+    attached observability collector rides along in
+    ``result.extra["obs"]`` for the trace exporters.
+    """
     if fast_mode():
         spec = spec.scaled_for_fast_mode()
     network = NetworkConfig(
@@ -126,7 +131,7 @@ def run_point(spec: PointSpec) -> RunResult:
     )
     workload_rng = RngRegistry(spec.seed * 7919 + 13)
     workload = build_workload(spec, workload_rng)
-    collector = MetricsCollector(cluster, warmup=spec.warmup)
+    collector = MetricsCollector(cluster, warmup=spec.warmup, record_spans=record_spans)
     clients = OpenLoopClients(
         cluster,
         workload,
@@ -149,6 +154,7 @@ def run_point(spec: PointSpec) -> RunResult:
     result.extra["protocol_stats"] = [
         dict(node.protocol.stats) for node in cluster.nodes
     ]
+    result.extra["obs"] = collector.obs
     return result
 
 

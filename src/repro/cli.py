@@ -5,6 +5,7 @@ Usage::
     python -m repro run --protocol m2paxos --nodes 5 --duration 0.3
     python -m repro run --protocol epaxos --workload tpcc --remote 0.15
     python -m repro compare --nodes 5
+    python -m repro trace --protocol m2paxos --out trace.json
     python -m repro figures fig1 [--full]
     python -m repro modelcheck [--ballots 2]
 """
@@ -57,15 +58,42 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
                         help="drive to saturation (max-throughput methodology)")
 
 
+_RUN_COLUMNS = [
+    "protocol", "throughput", "p50_ms", "p95_ms", "fast%", "inflight", "messages", "MB",
+]
+
+
 def _row(protocol: str, result) -> dict:
     return {
         "protocol": protocol,
         "throughput": result.throughput,
         "p50_ms": result.latency.p50 * 1e3 if result.latency else float("nan"),
         "p95_ms": result.latency.p95 * 1e3 if result.latency else float("nan"),
+        "fast%": result.fast_ratio * 100,
+        "inflight": result.inflight,
         "messages": result.messages_sent,
         "MB": result.bytes_sent / 1e6,
     }
+
+
+def _path_rows(result) -> list[dict]:
+    """Per-decision-path breakdown from the span layer."""
+    total = sum(stats.count for stats in result.paths.values()) or 1
+    rows = []
+    for path, stats in sorted(result.paths.items(), key=lambda kv: -kv[1].count):
+        rows.append(
+            {
+                "path": path,
+                "count": stats.count,
+                "share%": 100.0 * stats.count / total,
+                "p50_ms": stats.p50 * 1e3,
+                "p99_ms": stats.p99 * 1e3,
+            }
+        )
+    return rows
+
+
+_PATH_COLUMNS = ["path", "count", "share%", "p50_ms", "p99_ms"]
 
 
 def cmd_run(args) -> int:
@@ -74,8 +102,9 @@ def cmd_run(args) -> int:
     print_table(
         f"{args.protocol} / {args.workload} / {args.nodes} nodes",
         [_row(args.protocol, result)],
-        ["protocol", "throughput", "p50_ms", "p95_ms", "messages", "MB"],
+        _RUN_COLUMNS,
     )
+    print_table("decision paths", _path_rows(result), _PATH_COLUMNS)
     return 0
 
 
@@ -88,8 +117,37 @@ def cmd_compare(args) -> int:
     print_table(
         f"all protocols / {args.workload} / {args.nodes} nodes",
         rows,
-        ["protocol", "throughput", "p50_ms", "p95_ms", "messages", "MB"],
+        _RUN_COLUMNS,
     )
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """One traced run: record spans, export Chrome JSON (Perfetto)."""
+    from repro.obs import write_chrome_trace, write_jsonl
+
+    spec = _spec_from_args(args, args.protocol)
+    result = run_point(spec, record_spans=True)
+    obs = result.extra["obs"]
+    write_chrome_trace(obs, args.out)
+    print(f"chrome trace: {args.out} ({len(obs.spans)} spans; "
+          f"load in https://ui.perfetto.dev)")
+    if args.jsonl:
+        write_jsonl(obs, args.jsonl)
+        print(f"jsonl log: {args.jsonl}")
+    print_table(
+        f"{args.protocol} / {args.workload} / {args.nodes} nodes",
+        [_row(args.protocol, result)],
+        _RUN_COLUMNS,
+    )
+    print_table("decision paths", _path_rows(result), _PATH_COLUMNS)
+    churn = obs.churn
+    if churn.total_epoch_bumps or churn.total_handoffs:
+        print(
+            f"ownership churn: {churn.total_epoch_bumps} epoch bumps, "
+            f"{churn.total_handoffs} owner handoffs "
+            f"across {len(churn.epoch_bumps)} objects"
+        )
     return 0
 
 
@@ -133,6 +191,19 @@ def main(argv=None) -> int:
     compare_parser = sub.add_parser("compare", help="all protocols, same workload")
     _add_run_args(compare_parser)
     compare_parser.set_defaults(fn=cmd_compare)
+
+    trace_parser = sub.add_parser(
+        "trace", help="one traced run; export Chrome/Perfetto trace"
+    )
+    trace_parser.add_argument("--protocol", choices=PROTOCOLS, default="m2paxos")
+    _add_run_args(trace_parser)
+    trace_parser.add_argument(
+        "--out", default="trace.json", help="Chrome trace-event JSON output path"
+    )
+    trace_parser.add_argument(
+        "--jsonl", default=None, help="also write a JSONL structured log here"
+    )
+    trace_parser.set_defaults(fn=cmd_trace)
 
     figures_parser = sub.add_parser("figures", help="regenerate paper figures")
     figures_parser.add_argument("names", nargs="*", default=["all"])

@@ -12,6 +12,7 @@ simulator (:mod:`repro.sim`) and the asyncio runtime
 from __future__ import annotations
 
 import random
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, fields
 from typing import Callable, Optional
@@ -145,6 +146,40 @@ class TimerHandle(ABC):
 FlushHook = Callable[[int, "list[tuple[int, Message]]", "dict[int, list[Message]]"], None]
 
 
+class EnvObserver:
+    """Observability hook contract (all methods optional no-ops).
+
+    An observer attached with :meth:`Env.add_observer` sees the full
+    event stream of one node, substrate-independently: proposals,
+    handler entry/exit (with measured Python CPU), outbox flushes,
+    application deliveries, and the protocols' structured *notes*
+    (``path`` / ``quorum`` / ``decide`` / ``epoch_bump`` /
+    ``owner_handoff`` / ``outbox_depth``).  The span layer in
+    :mod:`repro.obs` is built entirely on this interface.
+    """
+
+    def on_propose(self, node_id: int, command: Command) -> None: ...
+
+    def on_handler_enter(
+        self, node_id: int, sender: int, message: "Message"
+    ) -> None: ...
+
+    def on_handler_exit(
+        self, node_id: int, sender: int, message: "Message", cpu_seconds: float
+    ) -> None: ...
+
+    def on_flush(
+        self,
+        node_id: int,
+        queued: "list[tuple[int, Message]]",
+        batches: "dict[int, list[Message]]",
+    ) -> None: ...
+
+    def on_deliver(self, node_id: int, command: Command) -> None: ...
+
+    def on_note(self, node_id: int, kind: str, fields: dict) -> None: ...
+
+
 class Env(ABC):
     """Effects interface a protocol uses to interact with the world.
 
@@ -168,6 +203,7 @@ class Env(ABC):
     _event_depth: int = 0
     _outbox: Optional[list[tuple[int, Message]]] = None
     _flush_hooks: Optional[list[FlushHook]] = None
+    _observers: Optional[list[EnvObserver]] = None
 
     @property
     def nodes(self) -> range:
@@ -219,6 +255,9 @@ class Env(ABC):
         if self._flush_hooks:
             for hook in self._flush_hooks:
                 hook(self.node_id, queued, batches)
+        if self._observers:
+            for observer in self._observers:
+                observer.on_flush(self.node_id, queued, batches)
         self._flush(queued, batches)
 
     def add_flush_hook(self, hook: FlushHook) -> None:
@@ -229,6 +268,43 @@ class Env(ABC):
         if self._flush_hooks is None:
             self._flush_hooks = []
         self._flush_hooks.append(hook)
+
+    def remove_flush_hook(self, hook: FlushHook) -> None:
+        """Detach a hook added with :meth:`add_flush_hook` (no-op if
+        absent, so teardown paths can be unconditional)."""
+        if self._flush_hooks and hook in self._flush_hooks:
+            self._flush_hooks.remove(hook)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def add_observer(self, observer: EnvObserver) -> None:
+        """Attach an :class:`EnvObserver` to this node's event stream."""
+        if self._observers is None:
+            self._observers = []
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: EnvObserver) -> None:
+        if self._observers and observer in self._observers:
+            self._observers.remove(observer)
+
+    def observe(self, kind: str, **fields) -> None:
+        """Emit one structured note to every attached observer.
+
+        This is the channel protocols use to report what generic hooks
+        cannot see: decision-path classifications, quorum/decide
+        milestones, epoch bumps, ownership handoffs.  Free when no
+        observer is attached."""
+        if self._observers:
+            for observer in self._observers:
+                observer.on_note(self.node_id, kind, fields)
+
+    def observe_propose(self, command: Command) -> None:
+        """Called by the hosting node at C-PROPOSE submission time."""
+        if self._observers:
+            for observer in self._observers:
+                observer.on_propose(self.node_id, command)
 
     @abstractmethod
     def _transmit(self, dst: int, message: Message) -> None:
@@ -252,9 +328,19 @@ class Env(ABC):
     def now(self) -> float:
         """Current time in seconds (virtual under the simulator)."""
 
-    @abstractmethod
     def deliver(self, command: Command) -> None:
-        """Hand a decided command to the application (C-DECIDE append)."""
+        """Hand a decided command to the application (C-DECIDE append).
+
+        Concrete so every substrate shares the observer notification;
+        the substrate-specific hand-off lives in :meth:`_deliver`."""
+        if self._observers:
+            for observer in self._observers:
+                observer.on_deliver(self.node_id, command)
+        self._deliver(command)
+
+    @abstractmethod
+    def _deliver(self, command: Command) -> None:
+        """Substrate-specific delivery (append + listener fan-out)."""
 
     @property
     @abstractmethod
@@ -298,11 +384,30 @@ class Dispatcher:
         cls.dispatch_table = table
 
     def on_message(self, sender: int, message: Message) -> None:
-        """Route ``message`` to its registered handler."""
+        """Route ``message`` to its registered handler.
+
+        When observers are attached to the bound env, the handler is
+        bracketed with entry/exit notifications carrying the measured
+        Python CPU time -- the per-handler attribution the obs layer
+        aggregates.  Without observers this is a plain table lookup."""
         handler = self.dispatch_table.get(type(message))
         if handler is None:
             raise TypeError(f"unexpected message: {message!r}")
-        handler(self, sender, message)
+        env = getattr(self, "env", None)
+        observers = env._observers if env is not None else None
+        if not observers:
+            handler(self, sender, message)
+            return
+        node_id = env.node_id
+        for observer in observers:
+            observer.on_handler_enter(node_id, sender, message)
+        started = time.perf_counter()
+        try:
+            handler(self, sender, message)
+        finally:
+            cpu = time.perf_counter() - started
+            for observer in observers:
+                observer.on_handler_exit(node_id, sender, message, cpu)
 
 
 class Protocol(Dispatcher, ABC):
@@ -330,6 +435,26 @@ class Protocol(Dispatcher, ABC):
     @abstractmethod
     def propose(self, command: Command) -> None:
         """C-PROPOSE: submit ``command`` for ordering."""
+
+    # ------------------------------------------------------------------
+    # Observability notes
+    # ------------------------------------------------------------------
+
+    def note(self, kind: str, **fields) -> None:
+        """Report a structured observation to the env's observers."""
+        if self.env is not None:
+            self.env.observe(kind, **fields)
+
+    def note_path(self, command: Command, path: str, hops: int = 0) -> None:
+        """Classify the decision path taken for ``command``.
+
+        ``path`` is ``"fast"`` / ``"forward"`` / ``"slow"`` /
+        ``"acquisition"`` (see :data:`repro.obs.span.PATH_SEVERITY`);
+        repeated classifications escalate, never downgrade.  Protocols
+        call this next to their stats counters so the span layer and the
+        ad-hoc counters can be cross-checked against each other."""
+        if self.env is not None:
+            self.env.observe("path", cid=command.cid, path=path, hops=hops)
 
     def processing_cost(self, message: Optional[Message]) -> tuple[float, float]:
         """``(cpu_seconds, serial_fraction)`` to charge for one event.

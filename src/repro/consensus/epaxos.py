@@ -270,9 +270,11 @@ class EPaxos(Protocol):
         unchanged = all(not reply.changed for reply in record.replies)
         if unchanged:
             self.stats["fast_path"] += 1
+            self.note_path(record.command, "fast")
             self._commit(msg.instance, record.command, record.seq, record.deps)
         else:
             self.stats["slow_path"] += 1
+            self.note_path(record.command, "slow")
             seq = max([record.seq] + [reply.seq for reply in record.replies])
             deps = record.deps
             for reply in record.replies:
@@ -346,6 +348,8 @@ class EPaxos(Protocol):
         record.deps = deps
         record.status = COMMITTED
         self.stats["committed"] += 1
+        if not command.noop:
+            self.note("decide", cid=command.cid)
         self._index(instance_id, command, seq)
         if record.leading:
             self.env.broadcast(

@@ -210,6 +210,9 @@ class GenPaxos(Protocol):
         if len(command.ls) == 1:
             self.env.broadcast(GpPropose(command=command))
         else:
+            # Serialised through the designated leader: one extra hop
+            # before its classic round even starts.
+            self.note_path(command, "forward", hops=1)
             self.env.send(self.config.leader, GpSubmit(command=command))
         self._arm_retry(command)
 
@@ -297,6 +300,8 @@ class GenPaxos(Protocol):
                     f"instance {inst}: {existing} learned, got {command}"
                 )
             return
+        if not command.noop:
+            self.note("decide", cid=command.cid)
         assert self.delivery is not None
         self.delivery.record_decision(l, idx, command, self.env.now())
         self.delivery.pump(dirty=command.ls)
@@ -345,6 +350,8 @@ class GenPaxos(Protocol):
         """Prepare + accept over ``instances``; decide ``command`` there
         unless phase 1 forces previously voted values."""
         self.stats["classic_rounds"] += 1
+        if command is not None:
+            self.note_path(command, "slow")
         self._recovering.update(instances)
         ballot = (
             max(self._promised.get(inst, 0) for inst in instances)

@@ -108,6 +108,8 @@ class Mencius(Protocol):
 
     def propose(self, command: Command) -> None:
         assert self._next_own_slot is not None
+        # Our own pre-assigned slot at ballot 0: two delays, always.
+        self.note_path(command, "fast")
         slot = self._next_own_slot
         self._next_own_slot += self.env.n_nodes
         self._proposals[slot] = command
@@ -221,6 +223,8 @@ class Mencius(Protocol):
             return
         self.decided[slot] = value
         self.stats["decided"] += 1
+        if value is not None and not value.noop:
+            self.note("decide", cid=value.cid)
         while self.delivered_upto + 1 in self.decided:
             self.delivered_upto += 1
             decided = self.decided[self.delivered_upto]

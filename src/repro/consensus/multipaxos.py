@@ -139,9 +139,13 @@ class MultiPaxos(Protocol):
 
     def propose(self, command: Command) -> None:
         if self.is_leader:
+            # Leader-local proposal: accept round only, two delays --
+            # the protocol's own "fast" case.
+            self.note_path(command, "fast")
             self._assign(command)
         else:
             self.stats["forwards"] += 1
+            self.note_path(command, "forward", hops=1)
             self.env.send(self.leader, MpForward(command=command))
         self._awaiting[command.cid] = self.env.now()
         self._arm_leader_timeout(command)
@@ -204,6 +208,7 @@ class MultiPaxos(Protocol):
             if entry is None or entry[1].cid != msg.cid:
                 return
             command = entry[1]
+            self.note("quorum", cid=command.cid)
             self._decide(msg.slot, command)
             self.env.broadcast(MpDecide(slot=msg.slot, command=command), include_self=False)
 
@@ -226,6 +231,8 @@ class MultiPaxos(Protocol):
         self.decided[slot] = command
         self._decided_cids.add(command.cid)
         self.stats["decided"] += 1
+        if not command.noop:
+            self.note("decide", cid=command.cid)
         self.next_slot = max(self.next_slot, slot + 1)
         self._awaiting.pop(command.cid, None)
         while self.delivered_upto + 1 in self.decided:

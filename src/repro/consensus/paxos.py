@@ -154,6 +154,9 @@ class ClassicPaxos(Protocol):
         self.env.set_timer(delay, check)
 
     def _start_round(self, command: Command) -> None:
+        # Every round is a full prepare+accept: four one-way delays,
+        # the same shape as an M2Paxos acquisition.
+        self.note_path(command, "acquisition")
         slot = self._next_free_slot()
         ballot = self._next_ballot(self._slot(slot).promised)
         self._req_counter += 1
@@ -308,6 +311,8 @@ class ClassicPaxos(Protocol):
         self.decided[slot] = value
         self._decided_cids.add(value.cid)
         self.stats["decided"] += 1
+        if not value.noop:
+            self.note("decide", cid=value.cid)
         while self.delivered_upto + 1 in self.decided:
             self.delivered_upto += 1
             decided = self.decided[self.delivered_upto]

@@ -77,6 +77,8 @@ class AcceptorMixin:
             obj = self.state.obj(l)
             if not msg.scoped:
                 # Only leadership rounds transfer ownership.
+                if obj.owner is not None and obj.owner != sender:
+                    self.note("owner_handoff", obj=l, old=obj.owner, new=sender)
                 obj.owner = sender
                 obj.owner_epoch = epoch
                 obj.promised = max(obj.promised, epoch)
@@ -230,6 +232,8 @@ class AcceptorMixin:
                     f"instance {inst}: {existing} already decided, got {command}"
                 )
             return
+        if not command.noop:
+            self.note("decide", cid=command.cid)
         assert self.delivery is not None
         self.delivery.record_decision(l, position, command, self.env.now())
         appended = self.delivery.pump(dirty=command.ls)

@@ -38,6 +38,7 @@ class OwnershipMixin:
             self._accept_phase(command, eps)
             return
         self.stats["acquisitions"] += 1
+        self.note_path(command, "acquisition")
         self._acquiring.update(inst[0] for inst in missing)
         full = self._full_ins(command, eps)
         self._prepare_round(
@@ -77,6 +78,11 @@ class OwnershipMixin:
                         max(obj.epoch, obj.promised)
                     )
                     bumped.add(inst[0])
+                    self.note(
+                        "epoch_bump",
+                        obj=inst[0],
+                        cid=command.cid if command is not None else None,
+                    )
                 eps[inst] = obj.epoch
             obj.observe_position(inst[1])
         req = self._next_req()

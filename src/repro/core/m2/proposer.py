@@ -96,6 +96,7 @@ class ProposerMixin:
             eps = self._pick_instances(command)
             if eps and not self._stale_instances(command):
                 self.stats["fast_path"] += 1
+                self.note_path(command, "fast")
                 self._accept_phase(
                     command, eps, full_ins=self._full_ins(command, eps)
                 )
@@ -124,6 +125,7 @@ class ProposerMixin:
         ):
             (owner,) = owners
             self.stats["forwarded"] += 1
+            self.note_path(command, "forward", hops=hops + 1)
             self.env.send(owner, Forward(command=command, hops=hops + 1))
             self._arm_forward_timeout(command)
             return
@@ -141,6 +143,7 @@ class ProposerMixin:
             and hops < self.config.max_forward_hops
         ):
             self.stats["forwarded"] += 1
+            self.note_path(command, "forward", hops=hops + 1)
             self.env.send(target, Forward(command=command, hops=hops + 1))
             self._arm_forward_timeout(command)
             return
@@ -314,6 +317,8 @@ class ProposerMixin:
             # here would strand the decision at this node alone.
             pending.announced = True
             pending.done = True
+            for cmd in pending.to_decide.values():
+                self.note("quorum", cid=cmd.cid)
             self.env.broadcast(
                 Decide(to_decide=pending.to_decide), include_self=False
             )

@@ -96,7 +96,7 @@ class _SubEnv(Env):
     def now(self) -> float:
         return self._switcher.env.now()
 
-    def deliver(self, command: Command) -> None:
+    def _deliver(self, command: Command) -> None:
         self._switcher._on_sub_deliver(self._mode, command)
 
     @property

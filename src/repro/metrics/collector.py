@@ -6,6 +6,14 @@ the moment the proposer's own replica delivers the command (the point
 at which a replicated state machine could answer the client).
 Throughput counts each command once, at first delivery anywhere, inside
 the measurement window (after warm-up).
+
+The same collector serves both substrates: a simulated ``Cluster``
+(virtual clock, network counters) and the asyncio ``LocalCluster``
+(wall clock, wire counters from the flush point).  Each collector
+embeds an :class:`~repro.obs.collect.ObsCollector` (exposed as
+``.obs``), so every run also gets the per-command decision-path
+breakdown -- fast / forward / slow / acquisition counts and latency
+summaries -- reconstructed from the protocols' structured notes.
 """
 
 from __future__ import annotations
@@ -15,12 +23,14 @@ from typing import Optional
 
 from repro.consensus.commands import Command
 from repro.metrics.stats import Summary, summarize
-from repro.sim.cluster import Cluster
+from repro.obs.collect import ObsCollector
+from repro.obs.span import PathStats
+from repro.obs.span import fast_ratio as _fast_ratio
 
 
 @dataclass
 class RunResult:
-    """What one simulated run produced."""
+    """What one run (simulated or live) produced."""
 
     duration: float
     delivered: int
@@ -37,6 +47,13 @@ class RunResult:
     flush_batches: int = 0
     wire_messages: int = 0
     wire_bytes: int = 0
+    # Decision-path breakdown from the span layer: path name ->
+    # PathStats (count + latency summary), window-scoped like the
+    # throughput and latency numbers above.
+    paths: dict[str, PathStats] = field(default_factory=dict)
+    # Commands proposed but never delivered anywhere by the end of the
+    # run (lost, or still in flight when the window closed).
+    inflight: int = 0
 
     @property
     def avg_batch_size(self) -> float:
@@ -45,13 +62,24 @@ class RunResult:
             return 0.0
         return self.wire_messages / self.flush_batches
 
+    @property
+    def fast_ratio(self) -> float:
+        """Fraction of windowed commands that stayed on the fast path."""
+        return _fast_ratio(self.paths)
+
 
 class MetricsCollector:
-    """Attach to a cluster before driving load through it."""
+    """Attach to a cluster before driving load through it.
 
-    def __init__(self, cluster: Cluster, warmup: float = 0.0) -> None:
+    Accepts either a sim ``Cluster`` or a runtime ``LocalCluster``;
+    the embedded :class:`ObsCollector` picks the matching clock.
+    """
+
+    def __init__(self, cluster, warmup: float = 0.0, record_spans: bool = False) -> None:
         self.cluster = cluster
         self.warmup = warmup
+        self.obs = ObsCollector.for_cluster(cluster, record_spans=record_spans)
+        self._clock = self.obs.clock
         self._propose_times: dict[tuple[int, int], float] = {}
         self._first_delivery: set[tuple[int, int]] = set()
         self._latencies: list[float] = []
@@ -59,40 +87,27 @@ class MetricsCollector:
         self._window_start: Optional[float] = None
         self._window_end: Optional[float] = None
         self.proposed = 0
-        self.message_types: dict[str, int] = {}
-        self.flush_batches = 0
-        self.wire_messages = 0
-        self.wire_bytes = 0
         for node in cluster.nodes:
             node.deliver_listeners.append(self._on_deliver)
-            node.env.add_flush_hook(self._on_flush)
 
     # ------------------------------------------------------------------
 
     def on_propose(self, command: Command) -> None:
         """Call right before handing the command to the cluster."""
         self.proposed += 1
-        self._propose_times[command.cid] = self.cluster.loop.now
+        self._propose_times[command.cid] = self._clock.now()
 
     def begin_window(self) -> None:
         """Start the measurement window (end of warm-up)."""
-        self._window_start = self.cluster.loop.now
+        self._window_start = self._clock.now()
 
     def end_window(self) -> None:
-        self._window_end = self.cluster.loop.now
+        self._window_end = self._clock.now()
 
     def _in_window(self, now: float) -> bool:
         if self._window_start is None or now < self._window_start:
             return False
         return self._window_end is None or now <= self._window_end
-
-    def _on_flush(self, src, queued, batches) -> None:
-        self.flush_batches += len(batches)
-        for _dst, message in queued:
-            name = type(message).__name__
-            self.message_types[name] = self.message_types.get(name, 0) + 1
-            self.wire_messages += 1
-            self.wire_bytes += message.size_bytes()
 
     def _on_deliver(self, node_id: int, command: Command, now: float) -> None:
         if command.cid not in self._first_delivery:
@@ -110,26 +125,42 @@ class MetricsCollector:
     def inflight_of(self) -> dict[tuple[int, int], float]:
         return self._propose_times
 
+    def detach(self) -> None:
+        """Unhook from the cluster (deliver listeners + observers)."""
+        for node in self.cluster.nodes:
+            try:
+                node.deliver_listeners.remove(self._on_deliver)
+            except ValueError:
+                pass
+        self.obs.detach()
+
     def result(self) -> RunResult:
         if self._window_start is None:
             raise RuntimeError("begin_window() was never called")
-        end = (
-            self._window_end
-            if self._window_end is not None
-            else self.cluster.loop.now
-        )
+        end = self._window_end if self._window_end is not None else self._clock.now()
         duration = max(end - self._window_start, 1e-12)
         latency = summarize(self._latencies) if self._latencies else None
+        # The sim network counts every transmitted message; the runtime
+        # has no such tap, so wire counters from the flush point stand in.
+        network = getattr(self.cluster, "network", None)
+        messages_sent = (
+            network.messages_sent if network is not None else self.obs.wire_messages
+        )
+        bytes_sent = (
+            network.bytes_sent if network is not None else self.obs.wire_bytes
+        )
         return RunResult(
             duration=duration,
             delivered=self._window_delivered,
             throughput=self._window_delivered / duration,
             latency=latency,
-            messages_sent=self.cluster.network.messages_sent,
-            bytes_sent=self.cluster.network.bytes_sent,
+            messages_sent=messages_sent,
+            bytes_sent=bytes_sent,
             proposed=self.proposed,
-            message_types=dict(self.message_types),
-            flush_batches=self.flush_batches,
-            wire_messages=self.wire_messages,
-            wire_bytes=self.wire_bytes,
+            message_types=dict(self.obs.message_types),
+            flush_batches=self.obs.flush_batches,
+            wire_messages=self.obs.wire_messages,
+            wire_bytes=self.obs.wire_bytes,
+            paths=self.obs.path_stats(self._window_start, end),
+            inflight=len(self._propose_times),
         )

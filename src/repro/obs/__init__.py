@@ -1,0 +1,46 @@
+"""Substrate-independent observability: spans, traces, and exporters.
+
+One :class:`ObsCollector` attaches to a simulated cluster or the
+asyncio runtime alike (the :class:`Clock` hides the difference) and
+reconstructs, per command, the paper's decision-path story: fast,
+forward, or acquisition, with forward-hop counts, epoch bumps, quorum
+and decide times, and delivery latency.  Exporters turn a collected
+run into a JSONL log or a Chrome trace-event file viewable in
+Perfetto.
+"""
+
+from repro.obs.clock import Clock, SimClock, WallClock
+from repro.obs.collect import HandlerStats, ObsCollector, OwnershipChurn
+from repro.obs.export import (
+    jsonl_records,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.span import (
+    PATH_SEVERITY,
+    CommandTrace,
+    PathStats,
+    Span,
+    fast_ratio,
+    path_breakdown,
+)
+
+__all__ = [
+    "Clock",
+    "SimClock",
+    "WallClock",
+    "ObsCollector",
+    "HandlerStats",
+    "OwnershipChurn",
+    "CommandTrace",
+    "PathStats",
+    "Span",
+    "PATH_SEVERITY",
+    "fast_ratio",
+    "path_breakdown",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "jsonl_records",
+]

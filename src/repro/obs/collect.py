@@ -1,0 +1,244 @@
+"""The substrate-independent observability collector.
+
+An :class:`ObsCollector` registers as an :class:`~repro.consensus.base.EnvObserver`
+on every node's :class:`Env` and assembles, from the generic hook
+stream (propose, handler entry/exit, flush, deliver) plus the
+protocols' structured notes (``path`` / ``quorum`` / ``decide`` /
+``epoch_bump`` / ``owner_handoff`` / ``outbox_depth``):
+
+- one :class:`~repro.obs.span.CommandTrace` per command;
+- per-message-type handler counts and CPU attribution (measured with
+  ``perf_counter``, so it is real Python CPU on both substrates);
+- ownership-churn gauges (epoch bumps and owner handoffs per object)
+  and per-destination outbox depth;
+- optionally (``record_spans=True``) a full span log for the Chrome
+  trace exporter.
+
+The same collector attaches to a simulated cluster (virtual clock) or
+a runtime cluster (wall clock); only the :class:`~repro.obs.clock.Clock`
+differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.consensus.base import EnvObserver, Message
+from repro.obs.clock import Clock, SimClock, WallClock
+from repro.obs.span import (
+    Cid,
+    CommandTrace,
+    PathStats,
+    Span,
+    fast_ratio,
+    path_breakdown,
+)
+
+
+@dataclass
+class HandlerStats:
+    """Aggregate cost of one message type's handler."""
+
+    count: int = 0
+    cpu_seconds: float = 0.0
+
+
+@dataclass
+class OwnershipChurn:
+    """Per-object ownership movement (the WPaxos migration metric)."""
+
+    epoch_bumps: dict[str, int] = field(default_factory=dict)
+    owner_handoffs: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_epoch_bumps(self) -> int:
+        return sum(self.epoch_bumps.values())
+
+    @property
+    def total_handoffs(self) -> int:
+        return sum(self.owner_handoffs.values())
+
+
+class ObsCollector(EnvObserver):
+    """Attach to every node's Env; query after (or during) the run."""
+
+    def __init__(self, clock: Clock, record_spans: bool = False) -> None:
+        self.clock = clock
+        self.record_spans = record_spans
+        self.traces: dict[Cid, CommandTrace] = {}
+        self.spans: list[Span] = []
+        self.handler_stats: dict[str, HandlerStats] = {}
+        self.churn = OwnershipChurn()
+        self.outbox_depth: dict[int, int] = {}  # dst -> max depth seen
+        self.message_types: dict[str, int] = {}
+        self.flush_batches = 0
+        self.wire_messages = 0
+        self.wire_bytes = 0
+        self._attached: list = []  # envs we observe, for detach()
+        # Handler spans nest (a handler may deliver, whose listener
+        # proposes); per-node stacks pair entries with exits.
+        self._handler_starts: dict[int, list[float]] = {}
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def for_cluster(cls, cluster, record_spans: bool = False) -> "ObsCollector":
+        """Build and attach to a sim ``Cluster`` or runtime ``LocalCluster``:
+        the virtual clock when the cluster has an event loop, wall time
+        otherwise."""
+        loop = getattr(cluster, "loop", None)
+        clock: Clock = SimClock(loop) if loop is not None else WallClock()
+        collector = cls(clock, record_spans=record_spans)
+        collector.attach(cluster)
+        return collector
+
+    def attach(self, cluster) -> None:
+        for node in cluster.nodes:
+            node.env.add_observer(self)
+            self._attached.append(node.env)
+
+    def detach(self) -> None:
+        """Remove this collector from every env it observes."""
+        for env in self._attached:
+            env.remove_observer(self)
+        self._attached.clear()
+
+    # ------------------------------------------------------------------
+    # EnvObserver hooks
+    # ------------------------------------------------------------------
+
+    def on_propose(self, node_id: int, command) -> None:
+        if command.cid not in self.traces:  # re-proposals keep the origin
+            self.traces[command.cid] = CommandTrace(
+                cid=command.cid, proposer=node_id, proposed_at=self.clock.now()
+            )
+
+    def on_handler_enter(self, node_id: int, sender: int, message: Message) -> None:
+        self._handler_starts.setdefault(node_id, []).append(self.clock.now())
+
+    def on_handler_exit(
+        self, node_id: int, sender: int, message: Message, cpu_seconds: float
+    ) -> None:
+        name = type(message).__name__
+        stats = self.handler_stats.get(name)
+        if stats is None:
+            stats = self.handler_stats[name] = HandlerStats()
+        stats.count += 1
+        stats.cpu_seconds += cpu_seconds
+        starts = self._handler_starts.get(node_id)
+        start = starts.pop() if starts else self.clock.now()
+        if self.record_spans:
+            self.spans.append(
+                Span(
+                    name=f"handle {name}",
+                    category="handler",
+                    node=node_id,
+                    start=start,
+                    duration=self.clock.now() - start,
+                    args={"from": sender, "cpu_us": cpu_seconds * 1e6},
+                )
+            )
+
+    def on_flush(self, node_id: int, queued, batches) -> None:
+        self.flush_batches += len(batches)
+        for _dst, message in queued:
+            name = type(message).__name__
+            self.message_types[name] = self.message_types.get(name, 0) + 1
+            self.wire_messages += 1
+            self.wire_bytes += message.size_bytes()
+        for dst, messages in batches.items():
+            if len(messages) > self.outbox_depth.get(dst, 0):
+                self.outbox_depth[dst] = len(messages)
+
+    def on_deliver(self, node_id: int, command) -> None:
+        trace = self.traces.get(command.cid)
+        if trace is None:
+            return
+        now = self.clock.now()
+        if trace.first_delivered_at is None:
+            trace.first_delivered_at = now
+        if node_id == trace.proposer and trace.delivered_at is None:
+            trace.delivered_at = now
+            if self.record_spans:
+                self.spans.append(
+                    Span(
+                        name=f"cmd {command.cid[0]}.{command.cid[1]}",
+                        category="command",
+                        node=trace.proposer,
+                        start=trace.proposed_at,
+                        duration=now - trace.proposed_at,
+                        args={
+                            "path": trace.resolved_path,
+                            "hops": trace.forward_hops,
+                            "epoch_bumps": trace.epoch_bumps,
+                            "objects": sorted(command.ls),
+                        },
+                    )
+                )
+
+    def on_note(self, node_id: int, kind: str, fields: dict) -> None:
+        if kind == "path":
+            trace = self.traces.get(fields["cid"])
+            if trace is not None:
+                trace.observe_path(fields["path"], fields.get("hops", 0))
+        elif kind == "decide":
+            trace = self.traces.get(fields["cid"])
+            if trace is not None and trace.decided_at is None:
+                trace.decided_at = self.clock.now()
+        elif kind == "quorum":
+            trace = self.traces.get(fields["cid"])
+            if trace is not None and trace.quorum_at is None:
+                trace.quorum_at = self.clock.now()
+        elif kind == "epoch_bump":
+            obj = fields["obj"]
+            bumps = self.churn.epoch_bumps
+            bumps[obj] = bumps.get(obj, 0) + 1
+            trace = self.traces.get(fields.get("cid"))
+            if trace is not None:
+                trace.epoch_bumps += 1
+        elif kind == "owner_handoff":
+            obj = fields["obj"]
+            handoffs = self.churn.owner_handoffs
+            handoffs[obj] = handoffs.get(obj, 0) + 1
+        elif kind == "outbox_depth":
+            dst = fields["dst"]
+            if fields["depth"] > self.outbox_depth.get(dst, 0):
+                self.outbox_depth[dst] = fields["depth"]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def path_counts(self) -> dict[str, int]:
+        """Decision-path counts over every *delivered* trace."""
+        counts: dict[str, int] = {}
+        for trace in self.traces.values():
+            if trace.first_delivered_at is None:
+                continue
+            path = trace.resolved_path
+            counts[path] = counts.get(path, 0) + 1
+        return counts
+
+    def path_stats(
+        self,
+        window_start: Optional[float] = None,
+        window_end: Optional[float] = None,
+    ) -> dict[str, PathStats]:
+        return path_breakdown(self.traces.values(), window_start, window_end)
+
+    def fast_ratio(
+        self,
+        window_start: Optional[float] = None,
+        window_end: Optional[float] = None,
+    ) -> float:
+        return fast_ratio(self.path_stats(window_start, window_end))
+
+    def inflight(self) -> int:
+        """Commands proposed but never delivered anywhere (lost or still
+        in flight when the collector was read)."""
+        return sum(
+            1 for t in self.traces.values() if t.first_delivered_at is None
+        )

@@ -86,10 +86,11 @@ class RuntimeEnv(Env):
     def now(self) -> float:
         return asyncio.get_running_loop().time()
 
-    def deliver(self, command: Command) -> None:
+    def _deliver(self, command: Command) -> None:
         self._node.delivered.append(command)
+        now = self.now()
         for listener in self._node.deliver_listeners:
-            listener(self.node_id, command)
+            listener(self.node_id, command, now)
 
     @property
     def rng(self) -> random.Random:
@@ -111,7 +112,9 @@ class RuntimeNode:
         self.peers = peers
         self.protocol = protocol
         self.delivered: list[Command] = []
-        self.deliver_listeners: list[Callable[[int, Command], None]] = []
+        # Same shape as SimNode's: ``listener(node_id, command, now)``,
+        # so one metrics collector serves both substrates.
+        self.deliver_listeners: list[Callable[[int, Command, float], None]] = []
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: dict[int, asyncio.StreamWriter] = {}
         self._outgoing: dict[int, list[bytes]] = {}
@@ -167,6 +170,7 @@ class RuntimeNode:
             self.env.end_event()
 
     def propose(self, command: Command) -> None:
+        self.env.observe_propose(command)
         self.run_event(lambda: self.protocol.propose(command))
 
     def enqueue(self, dst: int, messages: list[Message]) -> None:
@@ -181,7 +185,11 @@ class RuntimeNode:
                 loop.call_soon(self._dispatch, self.node_id, message)
             return
         frames = b"".join(encode_message(self.node_id, m) for m in messages)
-        self._outgoing.setdefault(dst, []).append(frames)
+        queue = self._outgoing.setdefault(dst, [])
+        queue.append(frames)
+        # Queue depth in *flush batches* awaiting the sender task: the
+        # backpressure signal a slow peer produces.
+        self.env.observe("outbox_depth", dst=dst, depth=len(queue))
         sender = self._senders.get(dst)
         if sender is None or sender.done():
             self._senders[dst] = asyncio.ensure_future(self._drain_outgoing(dst))

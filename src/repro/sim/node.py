@@ -86,7 +86,7 @@ class SimEnv(Env):
     def now(self) -> float:
         return self._node.loop.now
 
-    def deliver(self, command: Command) -> None:
+    def _deliver(self, command: Command) -> None:
         self._node.on_deliver(command)
 
     @property
@@ -175,6 +175,7 @@ class SimNode:
         """
         if self.crashed:
             return
+        self.env.observe_propose(command)
         costs = self.protocol.costs
         if costs.propose_cost > 0:
             self.cpu.submit(

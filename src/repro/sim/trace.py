@@ -136,6 +136,19 @@ class Tracer:
     def clear(self) -> None:
         self.events.clear()
 
+    def detach(self) -> None:
+        """Undo the attachment: restore ``network.send`` and remove the
+        deliver listeners and flush hooks.  Safe to call twice; recorded
+        events stay queryable."""
+        if self.cluster.network.send == self._traced_send:
+            self.cluster.network.send = self._original_send  # type: ignore[method-assign]
+        for node in self.cluster.nodes:
+            try:
+                node.deliver_listeners.remove(self._on_deliver)
+            except ValueError:
+                pass
+            node.env.remove_flush_hook(self._on_flush)
+
 
 def delays_between(events: Iterable[TraceEvent]) -> float:
     """Wall span (virtual seconds) covered by ``events``."""

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -43,6 +45,38 @@ class TestCli:
         )
         assert code == 0
         assert "tpcc" in capsys.readouterr().out
+
+    def test_trace_exports_chrome_json(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "trace",
+                "--protocol",
+                "m2paxos",
+                "--nodes",
+                "3",
+                "--duration",
+                "0.05",
+                "--warmup",
+                "0.05",
+                "--out",
+                str(out),
+                "--jsonl",
+                str(jsonl),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        command_spans = [
+            e for e in payload["traceEvents"] if e.get("cat") == "command"
+        ]
+        assert any(e["args"]["path"] == "fast" for e in command_spans)
+        records = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert any(r["kind"] == "summary" for r in records)
+        stdout = capsys.readouterr().out
+        assert "decision paths" in stdout
+        assert "perfetto" in stdout
 
     def test_modelcheck(self, capsys):
         code = main(["modelcheck", "--ballots", "1"])

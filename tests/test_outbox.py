@@ -49,7 +49,7 @@ class RecordingEnv(Env):
     def now(self):
         return 0.0
 
-    def deliver(self, command):
+    def _deliver(self, command):
         raise NotImplementedError
 
     @property

@@ -97,3 +97,14 @@ class TestTracerMechanics:
         to_node_2 = tracer.sends(predicate=lambda e: e.dst == 2)
         assert to_node_2
         assert all(event.dst == 2 for event in to_node_2)
+
+    def test_detach_restores_cluster(self):
+        cluster, tracer = warm_cluster()
+        tracer.detach()
+        tracer.detach()  # idempotent
+        cluster.propose(0, Command.make(0, 1, ["x"]))
+        cluster.run_for(1.0)
+        # Nothing recorded after detach, but the cluster still works:
+        # network.send was restored, not left pointing at the tracer.
+        assert tracer.events == []
+        assert (0, 1) in {c.cid for c in cluster.delivered(0)}
