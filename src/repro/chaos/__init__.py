@@ -1,0 +1,47 @@
+"""Deterministic fault injection and end-to-end safety checking.
+
+The package splits by concern:
+
+- :mod:`repro.chaos.plan` -- declarative :class:`FaultPlan` (crashes,
+  partitions, drop/duplicate/delay windows), pure data;
+- :mod:`repro.chaos.injector` -- :class:`WireFaults`, the per-message
+  evaluator both substrates install on their send path;
+- :mod:`repro.chaos.checker` -- :func:`check_run`, the delivery-log
+  safety checker (agreement, per-object order, durability);
+- :mod:`repro.chaos.runner` -- :func:`run_scenario`, one seeded
+  scenario through the simulator with a determinism fingerprint;
+- :mod:`repro.chaos.scenarios` -- the named suite ``repro chaos`` runs.
+"""
+
+from repro.chaos.checker import SafetyReport, check_run
+from repro.chaos.injector import WireFaults
+from repro.chaos.plan import (
+    NO_FAULTS,
+    Crash,
+    DelayWindow,
+    DropWindow,
+    DuplicateWindow,
+    FaultPlan,
+    PartitionWindow,
+)
+from repro.chaos.runner import ChaosResult, Scenario, run_scenario
+from repro.chaos.scenarios import SCENARIOS, SMOKE, by_name
+
+__all__ = [
+    "NO_FAULTS",
+    "Crash",
+    "DelayWindow",
+    "DropWindow",
+    "DuplicateWindow",
+    "FaultPlan",
+    "PartitionWindow",
+    "WireFaults",
+    "SafetyReport",
+    "check_run",
+    "ChaosResult",
+    "Scenario",
+    "run_scenario",
+    "SCENARIOS",
+    "SMOKE",
+    "by_name",
+]

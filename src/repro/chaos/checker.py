@@ -1,0 +1,153 @@
+"""End-to-end safety checking for chaos runs.
+
+The checker consumes plain delivery logs (so it audits *what the
+application saw*, not protocol internals) and enforces, across every
+node and every incarnation:
+
+1. **No double delivery** within one incarnation's log.
+2. **Per-object total order**: the restriction of any two logs to any
+   object must be prefixes of one another -- the Generalized Consensus
+   consistency property, extended to the archived logs of past amnesia
+   incarnations (a restarted state machine replays from scratch, but it
+   must replay the *same* order).
+3. **Durability across restarts**: a command delivered by anyone, ever
+   -- including by a node that later crashed -- must be present in the
+   final log of every live node that kept its durable log.  Delivery
+   implies a quorum decided it, so no schedule of crashes and durable
+   restarts may lose it.  A node that restarted with *amnesia* rejoins
+   blank and re-learns objects on demand (there is no state-transfer
+   subsystem), so it is exempt from the per-node requirement; instead
+   the *cluster* must retain every delivered command (present in the
+   union of live final logs).
+4. **Agreement / completeness**: every command the scenario guarantees
+   (``must_deliver``: proposals made by nodes that were never crashed)
+   reaches every live non-amnesiac node.
+
+Violations are collected, not raised: a chaos suite wants the full
+damage report of a bad run, and the CLI turns a non-empty list into a
+non-zero exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+Cid = tuple[int, int]
+
+
+@dataclass
+class SafetyReport:
+    """Outcome of one checked run."""
+
+    violations: list[str] = field(default_factory=list)
+    logs_checked: int = 0
+    delivered_union: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"ok: {self.logs_checked} logs, "
+                f"{self.delivered_union} distinct commands"
+            )
+        head = "; ".join(self.violations[:3])
+        more = len(self.violations) - 3
+        return f"FAILED: {head}" + (f" (+{more} more)" if more > 0 else "")
+
+
+def check_run(
+    logs: dict[int, list[list]],
+    live_nodes: Iterable[int],
+    must_deliver: Optional[Iterable[Cid]] = None,
+    amnesia_nodes: Iterable[int] = (),
+) -> SafetyReport:
+    """Check one run's delivery logs.
+
+    ``logs`` maps each node id to its incarnation logs, oldest first;
+    the last entry is the node's current (final) log.  ``live_nodes``
+    are the nodes up at the end of the run; ``must_deliver`` the
+    commands whose delivery the scenario guarantees; ``amnesia_nodes``
+    the nodes that came back blank at least once (exempt from per-node
+    durability/completeness, see module docstring).
+    """
+    report = SafetyReport()
+    labelled: list[tuple[str, list]] = []
+    for node in sorted(logs):
+        lives = logs[node]
+        for life, log in enumerate(lives):
+            current = life == len(lives) - 1
+            label = f"node {node}" if current else f"node {node} (life {life})"
+            labelled.append((label, log))
+    report.logs_checked = len(labelled)
+
+    # 1. No double delivery within a log.
+    for label, log in labelled:
+        seen: set[Cid] = set()
+        for command in log:
+            if command.cid in seen:
+                report.violations.append(
+                    f"{label} delivered {command.cid} twice"
+                )
+            seen.add(command.cid)
+
+    # 2. Per-object total order across every log ever produced.
+    per_log: list[dict[str, list[Cid]]] = []
+    for _label, log in labelled:
+        seqs: dict[str, list[Cid]] = {}
+        for command in log:
+            for obj in command.ls:
+                seqs.setdefault(obj, []).append(command.cid)
+        per_log.append(seqs)
+    all_objects: set[str] = set()
+    for seqs in per_log:
+        all_objects.update(seqs)
+    for obj in sorted(all_objects):
+        sequences = [seqs.get(obj, []) for seqs in per_log]
+        longest = max(sequences, key=len)
+        for (label, _log), seq in zip(labelled, sequences):
+            if seq != longest[: len(seq)]:
+                report.violations.append(
+                    f"object {obj!r}: {label} delivered a conflicting order"
+                )
+
+    # 3 + 4. Durability and completeness against live nodes' final logs.
+    amnesiac = set(amnesia_nodes)
+    delivered_ever: set[Cid] = set()
+    for _label, log in labelled:
+        delivered_ever.update(command.cid for command in log)
+    report.delivered_union = len(delivered_ever)
+    final: dict[int, set[Cid]] = {
+        node: {command.cid for command in logs[node][-1]} for node in logs
+    }
+    live = sorted(live_nodes)
+    for node in live:
+        if node in amnesiac:
+            continue
+        have = final.get(node, set())
+        lost = delivered_ever - have
+        if lost:
+            report.violations.append(
+                f"node {node} lost {len(lost)} delivered command(s) "
+                f"across restarts, e.g. {sorted(lost)[:3]}"
+            )
+        if must_deliver is not None:
+            missing = set(must_deliver) - have
+            if missing:
+                report.violations.append(
+                    f"node {node} never delivered {len(missing)} guaranteed "
+                    f"command(s), e.g. {sorted(missing)[:3]}"
+                )
+    cluster_final: set[Cid] = set()
+    for node in live:
+        cluster_final.update(final.get(node, set()))
+    forgotten = delivered_ever - cluster_final
+    if forgotten and live:
+        report.violations.append(
+            f"cluster forgot {len(forgotten)} delivered command(s), "
+            f"e.g. {sorted(forgotten)[:3]}"
+        )
+    return report

@@ -1,0 +1,72 @@
+"""Per-message wire-fault evaluation, shared by both substrates.
+
+:class:`WireFaults` turns a :class:`~repro.chaos.plan.FaultPlan`'s
+window declarations into a per-send decision: given ``(src, dst, now)``
+it returns the *delay offsets* of the copies to deliver --
+
+- ``[]``          the message is dropped (partition or drop window);
+- ``[0.0]``       normal delivery;
+- ``[0.0, 0.0]``  duplicated;
+- ``[0.25, ...]`` delay-spiked copies.
+
+The simulator installs one instance as ``Network.injector`` (evaluated
+in deterministic event order with a seeded RNG, so runs replay
+byte-identically); the runtime installs one per node as the wire shim
+consulted in :meth:`repro.runtime.node.RuntimeNode.enqueue`.  Times are
+scenario-relative: set ``offset`` to the substrate clock reading at
+scenario start (0 for the simulator's virtual clock).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.chaos.plan import FaultPlan
+
+
+class WireFaults:
+    """Callable fault filter over one plan; one RNG per instance."""
+
+    def __init__(self, plan: FaultPlan, seed: int, offset: float = 0.0) -> None:
+        self.plan = plan
+        self.offset = offset
+        self._rng = random.Random((seed << 8) ^ 0xC4A05)
+        # Tallies for reports and tests.
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+
+    def __call__(self, src: int, dst: int, now: float) -> list[float]:
+        return self.offsets(src, dst, now)
+
+    def offsets(self, src: int, dst: int, now: float) -> list[float]:
+        """Delay offsets of the copies of one ``src -> dst`` message."""
+        if src == dst:
+            # Loopback never crosses the wire; chaos leaves it alone.
+            return [0.0]
+        t = now - self.offset
+        plan = self.plan
+        if plan.partitioned(src, dst, t):
+            self.dropped += 1
+            return []
+        for w in plan.drops:
+            if w.active(t) and w.applies(src, dst) and (
+                w.probability >= 1.0 or self._rng.random() < w.probability
+            ):
+                self.dropped += 1
+                return []
+        extra = 0.0
+        for w in plan.delays:
+            if w.active(t) and w.applies(src, dst):
+                extra += w.extra + (w.jitter * self._rng.random() if w.jitter else 0.0)
+        copies = [extra]
+        for w in plan.duplicates:
+            if w.active(t) and w.applies(src, dst) and (
+                w.probability >= 1.0 or self._rng.random() < w.probability
+            ):
+                self.duplicated += 1
+                copies.append(extra)
+                break
+        if extra > 0:
+            self.delayed += len(copies)
+        return copies

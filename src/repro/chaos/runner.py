@@ -1,0 +1,213 @@
+"""Run one chaos scenario end to end under the deterministic simulator.
+
+A :class:`Scenario` bundles a cluster shape, a seeded workload, and a
+:class:`~repro.chaos.plan.FaultPlan`.  :func:`run_scenario`:
+
+1. builds a simulated M2Paxos cluster with chaos-tuned timeouts and
+   installs the plan's :class:`~repro.chaos.injector.WireFaults` as the
+   network injector;
+2. schedules every crash/restart on the virtual clock and the whole
+   proposal workload up front (so the event heap, and therefore the
+   run, is a pure function of the seed);
+3. runs until well past the last fault, then audits:
+
+   - **crash quiescence** -- zero handler/wire spans from any node
+     inside any of its crash windows (a crashed machine computes
+     nothing);
+   - **safety** -- :func:`repro.chaos.checker.check_run` over every
+     delivery log of every incarnation;
+
+4. returns a :class:`ChaosResult` whose ``fingerprint`` hashes the full
+   delivery history -- two runs of the same scenario must produce the
+   same hex digest, which is how the CLI proves determinism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.chaos.checker import SafetyReport, check_run
+from repro.chaos.injector import WireFaults
+from repro.chaos.plan import FaultPlan
+from repro.consensus.commands import Command
+from repro.core.protocol import M2Paxos, M2PaxosConfig, SafetyViolation
+from repro.obs.collect import ObsCollector
+from repro.sim.cluster import Cluster, ClusterConfig, ConsistencyViolation
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One reproducible chaos experiment: workload + fault plan."""
+
+    name: str
+    plan: FaultPlan
+    n_nodes: int = 5
+    seed: int = 1
+    rounds: int = 40          # proposal rounds (one command/node/round)
+    spacing: float = 0.02     # virtual seconds between rounds
+    objects: int = 6          # shared object-pool size
+    locality: float = 0.7     # P(own home object) vs a random one
+    multi: float = 0.1        # P(two-object command)
+    settle: float = 4.0       # extra run time past the last fault
+    description: str = ""
+
+
+@dataclass
+class ChaosResult:
+    """Everything one scenario run produced."""
+
+    scenario: Scenario
+    report: SafetyReport
+    fingerprint: str
+    proposed: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    faults_observed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+
+# Chaos-tuned protocol timeouts: short enough that supervision retries
+# and decide re-sends fit inside the settle window, and the decide
+# re-send budget covers the whole run so a durably-restarted node is
+# guaranteed to hear about every instance decided while it was down.
+_CHAOS_M2 = M2PaxosConfig(
+    forward_timeout=0.05,
+    supervise_timeout=0.6,
+    round_timeout=0.3,
+    gap_check_period=0.1,
+    gap_timeout=0.3,
+    learn_resend_timeout=0.15,
+    learn_resend_attempts=80,
+)
+
+
+def _workload(scenario: Scenario) -> list[tuple[float, int, Command]]:
+    """The full ``(time, proposer, command)`` schedule, from the seed."""
+    rng = random.Random((scenario.seed << 4) ^ 0x5CE9A)
+    pool = [f"obj{i}" for i in range(scenario.objects)]
+    schedule: list[tuple[float, int, Command]] = []
+    for round_nr in range(scenario.rounds):
+        at = 0.05 + round_nr * scenario.spacing
+        for node in range(scenario.n_nodes):
+            if rng.random() < scenario.multi and len(pool) > 1:
+                objs = rng.sample(pool, 2)
+            elif rng.random() < scenario.locality:
+                objs = [pool[node % len(pool)]]
+            else:
+                objs = [rng.choice(pool)]
+            schedule.append((at, node, Command.make(node, round_nr, objs)))
+    return schedule
+
+
+def _fingerprint(logs: dict[int, list[list[Command]]]) -> str:
+    """Hash every incarnation's delivery order; identical seeds must
+    reproduce this digest bit for bit."""
+    digest = hashlib.sha256()
+    for node in sorted(logs):
+        for life, log in enumerate(logs[node]):
+            digest.update(f"\n[{node}:{life}]".encode())
+            for command in log:
+                digest.update(
+                    f"{command.cid[0]}.{command.cid[1]}"
+                    f"({','.join(sorted(command.ls))})".encode()
+                )
+    return digest.hexdigest()
+
+
+def run_scenario(scenario: Scenario) -> ChaosResult:
+    """Execute ``scenario`` once and check it; never raises on a safety
+    failure -- violations land in the returned report."""
+    plan = scenario.plan
+    cluster = Cluster(
+        ClusterConfig(n_nodes=scenario.n_nodes, seed=scenario.seed),
+        lambda node_id, n_nodes: M2Paxos(config=_CHAOS_M2),
+    )
+    faults: Optional[WireFaults] = None
+    if plan.has_wire_faults:
+        faults = WireFaults(plan, scenario.seed)
+        cluster.network.injector = faults
+    obs = ObsCollector.for_cluster(cluster, record_spans=True)
+    cluster.start()
+
+    for crash in plan.crashes:
+        cluster.loop.schedule_at(
+            crash.at, lambda node=crash.node: cluster.crash(node)
+        )
+        if crash.restart_at is not None:
+            cluster.loop.schedule_at(
+                crash.restart_at,
+                lambda node=crash.node, mode=crash.mode: cluster.restart(
+                    node, mode
+                ),
+            )
+
+    schedule = _workload(scenario)
+    proposed: list[Command] = []
+
+    def _propose(node: int, command: Command) -> None:
+        # A dead machine takes no client requests; its command simply
+        # never happened (and is not owed to anyone).
+        if not cluster.nodes[node].crashed:
+            proposed.append(command)
+            cluster.propose(node, command)
+
+    for at, node, command in schedule:
+        cluster.loop.schedule_at(
+            at, lambda node=node, command=command: _propose(node, command)
+        )
+
+    horizon = max(plan.end_of_faults(), schedule[-1][0]) + scenario.settle
+    extra_violations: list[str] = []
+    try:
+        cluster.run_until(horizon)
+    except (SafetyViolation, ConsistencyViolation) as exc:
+        extra_violations.append(f"safety alarm during run: {exc}")
+
+    # Crash quiescence: no handler or wire span may start inside a
+    # crash window.  (Timers and CPU completions charged to the dead
+    # incarnation are cancelled/ignored by the substrate; this audits
+    # that from the outside.)
+    for node in range(scenario.n_nodes):
+        for start, end in plan.crash_windows(node):
+            window_end = end if end is not None else cluster.loop.now
+            active = obs.activity_spans(node, start, window_end)
+            if active:
+                extra_violations.append(
+                    f"node {node} made {len(active)} transition(s) while "
+                    f"crashed in [{start}, {window_end}), "
+                    f"first: {active[0].name!r} at {active[0].start:.4f}"
+                )
+
+    logs = {
+        node.node_id: node.delivery_history + [node.delivered]
+        for node in cluster.nodes
+    }
+    live = set(range(scenario.n_nodes)) - set(plan.down_forever())
+    amnesiacs = {
+        c.node
+        for c in plan.crashes
+        if c.mode == "amnesia" and c.restart_at is not None
+    }
+    must_deliver = [
+        c.cid for c in proposed if c.proposer not in plan.ever_crashed()
+    ]
+    report = check_run(
+        logs, live, must_deliver=must_deliver, amnesia_nodes=amnesiacs
+    )
+    report.violations = extra_violations + report.violations
+    return ChaosResult(
+        scenario=scenario,
+        report=report,
+        fingerprint=_fingerprint(logs),
+        proposed=len(proposed),
+        dropped=(faults.dropped if faults else 0)
+        + cluster.network.messages_dropped,
+        duplicated=faults.duplicated if faults else 0,
+        faults_observed=len(obs.faults),
+    )

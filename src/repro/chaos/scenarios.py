@@ -1,0 +1,157 @@
+"""The seeded scenario suite behind ``repro chaos``.
+
+Each scenario is a fixed ``(workload seed, fault plan)`` pair, so a
+failure reported by CI reproduces locally from just the scenario name.
+Times are virtual seconds; the workload runs roughly ``[0.05, 0.85]``
+(40 rounds at 20 ms), so faults are placed to overlap live traffic.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.plan import (
+    NO_FAULTS,
+    Crash,
+    DelayWindow,
+    DropWindow,
+    DuplicateWindow,
+    FaultPlan,
+    PartitionWindow,
+)
+from repro.chaos.runner import Scenario
+
+SCENARIOS: list[Scenario] = [
+    Scenario(
+        name="baseline",
+        plan=NO_FAULTS,
+        seed=11,
+        description="no faults; exercises the harness and checker only",
+    ),
+    Scenario(
+        name="crash-restart-durable",
+        plan=FaultPlan(
+            crashes=(Crash(at=0.2, node=1, restart_at=0.5, mode="durable"),)
+        ),
+        seed=12,
+        description="one node crashes mid-run and rejoins with its log",
+    ),
+    Scenario(
+        name="crash-restart-amnesia",
+        plan=FaultPlan(
+            crashes=(Crash(at=0.2, node=2, restart_at=0.5, mode="amnesia"),)
+        ),
+        seed=13,
+        description="one node crashes and rejoins blank (promises lost)",
+    ),
+    Scenario(
+        name="crash-forever-minority",
+        plan=FaultPlan(
+            crashes=(Crash(at=0.25, node=3), Crash(at=0.35, node=4))
+        ),
+        seed=14,
+        description="two of five nodes die for good; majority keeps going",
+    ),
+    Scenario(
+        name="partition-minority",
+        plan=FaultPlan(
+            partitions=(
+                PartitionWindow(
+                    start=0.2,
+                    end=0.6,
+                    group_a=frozenset({0, 1, 2}),
+                    group_b=frozenset({3, 4}),
+                ),
+            )
+        ),
+        seed=15,
+        description="minority isolated for 0.4 s, then the link heals",
+    ),
+    Scenario(
+        name="partition-owner",
+        plan=FaultPlan(
+            partitions=(
+                PartitionWindow(
+                    start=0.15,
+                    end=0.55,
+                    group_a=frozenset({0}),
+                    group_b=frozenset({1, 2, 3, 4}),
+                ),
+            )
+        ),
+        seed=16,
+        locality=1.0,
+        description="an object owner is cut off; others must re-acquire",
+    ),
+    Scenario(
+        name="drop-storm",
+        plan=FaultPlan(
+            drops=(DropWindow(start=0.2, end=0.5, probability=0.3),)
+        ),
+        seed=17,
+        description="30% of all messages dropped for 0.3 s",
+    ),
+    Scenario(
+        name="drop-dup",
+        plan=FaultPlan(
+            drops=(DropWindow(start=0.2, end=0.45, probability=0.15),),
+            duplicates=(
+                DuplicateWindow(start=0.3, end=0.6, probability=0.4),
+            ),
+        ),
+        seed=18,
+        description="loss and duplication overlap; dedup must hold",
+    ),
+    Scenario(
+        name="delay-spike",
+        plan=FaultPlan(
+            delays=(
+                DelayWindow(start=0.2, end=0.5, extra=0.04, jitter=0.02),
+            )
+        ),
+        seed=19,
+        description="40-60 ms latency spike, reordering timer races",
+    ),
+    Scenario(
+        name="combined",
+        plan=FaultPlan(
+            crashes=(Crash(at=0.3, node=1, restart_at=0.6, mode="durable"),),
+            partitions=(
+                PartitionWindow(
+                    start=0.15,
+                    end=0.35,
+                    group_a=frozenset({0, 1}),
+                    group_b=frozenset({2, 3, 4}),
+                ),
+            ),
+            drops=(DropWindow(start=0.4, end=0.6, probability=0.2),),
+            duplicates=(
+                DuplicateWindow(start=0.2, end=0.7, probability=0.25),
+            ),
+        ),
+        seed=20,
+        settle=5.0,
+        description="partition, then a crash, under loss and duplication",
+    ),
+    Scenario(
+        name="restart-churn",
+        plan=FaultPlan(
+            crashes=(
+                Crash(at=0.15, node=1, restart_at=0.3, mode="durable"),
+                Crash(at=0.45, node=1, restart_at=0.6, mode="amnesia"),
+                Crash(at=0.25, node=3, restart_at=0.55, mode="amnesia"),
+            )
+        ),
+        seed=21,
+        settle=5.0,
+        description="repeated crash-restart cycles, durable then amnesia",
+    ),
+]
+
+# Quick subset for CI: one crash, one partition, one wire-fault mix.
+SMOKE = ["crash-restart-durable", "partition-minority", "drop-dup"]
+
+
+def by_name(name: str) -> Scenario:
+    for scenario in SCENARIOS:
+        if scenario.name == name:
+            return scenario
+    raise KeyError(f"unknown scenario: {name!r}")

@@ -8,6 +8,7 @@ Usage::
     python -m repro trace --protocol m2paxos --out trace.json
     python -m repro figures fig1 [--full]
     python -m repro modelcheck [--ballots 2]
+    python -m repro chaos [--smoke | --list | NAME ...]
 """
 
 from __future__ import annotations
@@ -161,6 +162,66 @@ def cmd_figures(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run seeded fault-injection scenarios through the safety checker.
+
+    Every scenario runs twice; the delivery-history fingerprints must
+    match (determinism) and both runs must pass the checker.
+    """
+    from repro.chaos import SCENARIOS, SMOKE, by_name, run_scenario
+
+    if args.list:
+        for scenario in SCENARIOS:
+            print(f"{scenario.name:24s} {scenario.description}")
+        return 0
+    if args.names:
+        scenarios = [by_name(name) for name in args.names]
+    elif args.smoke:
+        scenarios = [by_name(name) for name in SMOKE]
+    else:
+        scenarios = list(SCENARIOS)
+
+    rows = []
+    failed = 0
+    for scenario in scenarios:
+        first = run_scenario(scenario)
+        second = run_scenario(scenario)
+        deterministic = first.fingerprint == second.fingerprint
+        ok = first.ok and second.ok and deterministic
+        failed += 0 if ok else 1
+        rows.append(
+            {
+                "scenario": scenario.name,
+                "status": "ok" if ok else "FAIL",
+                "proposed": first.proposed,
+                "delivered": first.report.delivered_union,
+                "dropped": first.dropped,
+                "dup": first.duplicated,
+                "faults": first.faults_observed,
+                "deterministic": "yes" if deterministic else "NO",
+            }
+        )
+        if not first.ok:
+            for violation in first.report.violations:
+                print(f"{scenario.name}: {violation}", file=sys.stderr)
+        if not deterministic:
+            print(
+                f"{scenario.name}: fingerprints differ across two runs "
+                f"({first.fingerprint[:12]} vs {second.fingerprint[:12]})",
+                file=sys.stderr,
+            )
+    print_table(
+        f"chaos suite ({len(scenarios)} scenarios, each run twice)",
+        rows,
+        ["scenario", "status", "proposed", "delivered",
+         "dropped", "dup", "faults", "deterministic"],
+    )
+    if failed:
+        print(f"{failed} scenario(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_modelcheck(args) -> int:
     from repro.core.modelcheck import ModelChecker, ModelConfig
 
@@ -209,6 +270,20 @@ def main(argv=None) -> int:
     figures_parser.add_argument("names", nargs="*", default=["all"])
     figures_parser.add_argument("--full", action="store_true")
     figures_parser.set_defaults(fn=cmd_figures)
+
+    chaos_parser = sub.add_parser(
+        "chaos", help="seeded fault-injection scenarios + safety checker"
+    )
+    chaos_parser.add_argument(
+        "names", nargs="*", help="scenario names (default: full suite)"
+    )
+    chaos_parser.add_argument(
+        "--smoke", action="store_true", help="quick CI subset"
+    )
+    chaos_parser.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    chaos_parser.set_defaults(fn=cmd_chaos)
 
     mc_parser = sub.add_parser("modelcheck", help="exhaustive TLA+-mirror check")
     mc_parser.add_argument("--ballots", type=int, default=1)

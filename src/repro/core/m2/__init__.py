@@ -114,6 +114,22 @@ class M2Paxos(ProposerMixin, AcceptorMixin, OwnershipMixin, RecoveryMixin, Proto
         if self.config.gap_recovery:
             self._schedule_gap_check()
 
+    def on_restart(self) -> None:
+        """Durable-log reboot: ``self.state`` (promises, accepted values,
+        the decided log) and the delivery engine survive as if reloaded
+        from disk; everything tied to in-flight rounds is volatile and
+        must not leak into the new incarnation: stale pending records
+        would count acks for rounds nobody is driving anymore, and the
+        ``_acquiring``/``_active_recoveries`` guards would stay locked
+        forever with no timer left to release them."""
+        self._pending_accepts.clear()
+        self._pending_prepares.clear()
+        self._attempts.clear()
+        self._active_recoveries.clear()
+        self._acquiring.clear()
+        self._deferred.clear()
+        self._assigned.clear()
+
     @property
     def quorum(self) -> int:
         return classic_quorum_size(self.env.n_nodes)

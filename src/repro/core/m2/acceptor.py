@@ -236,6 +236,17 @@ class AcceptorMixin:
             self.note("decide", cid=command.cid)
         assert self.delivery is not None
         self.delivery.record_decision(l, position, command, self.env.now())
+        if self._fully_decided(command):
+            # A fully decided command needs no further proposer-side
+            # bookkeeping.  Pruning here (not only at append, which can
+            # lag behind a stalled frontier) bounds `_attempts` on long
+            # runs and releases the recovery guard even when a
+            # `kind="recover"` round we launched was won by a competing
+            # node's decide -- the round's own ack path never announces
+            # then, which used to strand the cid in `_active_recoveries`
+            # and block every future recovery of it.
+            self._attempts.pop(command.cid, None)
+            self._active_recoveries.discard(command.cid)
         appended = self.delivery.pump(dirty=command.ls)
         # Every object whose frontier may have moved goes (back) on the
         # gap checker's radar; the checker discards clean ones itself.

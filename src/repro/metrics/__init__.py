@@ -1,6 +1,16 @@
 """Measurement: latency recording, throughput windows, percentiles."""
 
 from repro.metrics.stats import Summary, percentile, summarize
-from repro.metrics.collector import MetricsCollector
 
 __all__ = ["Summary", "percentile", "summarize", "MetricsCollector"]
+
+
+def __getattr__(name):
+    # Imported lazily to break the cycle metrics -> collector ->
+    # obs.collect -> obs.span -> metrics.stats: anyone may now import
+    # the obs and metrics packages in either order.
+    if name == "MetricsCollector":
+        from repro.metrics.collector import MetricsCollector
+
+        return MetricsCollector
+    raise AttributeError(name)

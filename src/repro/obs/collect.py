@@ -11,6 +11,11 @@ protocols' structured notes (``path`` / ``quorum`` / ``decide`` /
   ``perf_counter``, so it is real Python CPU on both substrates);
 - ownership-churn gauges (epoch bumps and owner handoffs per object)
   and per-destination outbox depth;
+- a timeline of fault events (``fault`` notes emitted by the substrate
+  on crash/restart), so chaos runs can place failures on the same
+  clock as command traces -- and, in span mode, audit that a crashed
+  node performed *zero* transitions while down (no handler or wire
+  span may fall inside a crash window);
 - optionally (``record_spans=True``) a full span log for the Chrome
   trace exporter.
 
@@ -45,6 +50,17 @@ class HandlerStats:
 
 
 @dataclass
+class FaultEvent:
+    """One crash or restart, as observed on the collector's clock."""
+
+    node: int
+    event: str  # "crash" | "restart"
+    at: float
+    mode: Optional[str] = None  # restart only: "durable" | "amnesia"
+    incarnation: int = 0
+
+
+@dataclass
 class OwnershipChurn:
     """Per-object ownership movement (the WPaxos migration metric)."""
 
@@ -69,6 +85,7 @@ class ObsCollector(EnvObserver):
         self.traces: dict[Cid, CommandTrace] = {}
         self.spans: list[Span] = []
         self.handler_stats: dict[str, HandlerStats] = {}
+        self.faults: list[FaultEvent] = []
         self.churn = OwnershipChurn()
         self.outbox_depth: dict[int, int] = {}  # dst -> max depth seen
         self.message_types: dict[str, int] = {}
@@ -152,6 +169,21 @@ class ObsCollector(EnvObserver):
         for dst, messages in batches.items():
             if len(messages) > self.outbox_depth.get(dst, 0):
                 self.outbox_depth[dst] = len(messages)
+        if self.record_spans and queued:
+            # Instant span per flush: together with handler spans this
+            # covers every way a node makes progress (any transition
+            # either handles an event or sends), which is what the
+            # crash-quiescence audit keys off.
+            self.spans.append(
+                Span(
+                    name=f"flush x{len(queued)}",
+                    category="wire",
+                    node=node_id,
+                    start=self.clock.now(),
+                    duration=0.0,
+                    args={"messages": len(queued), "batches": len(batches)},
+                )
+            )
 
     def on_deliver(self, node_id: int, command) -> None:
         trace = self.traces.get(command.cid)
@@ -207,6 +239,31 @@ class ObsCollector(EnvObserver):
             dst = fields["dst"]
             if fields["depth"] > self.outbox_depth.get(dst, 0):
                 self.outbox_depth[dst] = fields["depth"]
+        elif kind == "fault":
+            now = self.clock.now()
+            event = fields["event"]
+            mode = fields.get("mode")
+            self.faults.append(
+                FaultEvent(
+                    node=node_id,
+                    event=event,
+                    at=now,
+                    mode=mode,
+                    incarnation=fields.get("incarnation", 0),
+                )
+            )
+            if self.record_spans:
+                name = event if mode is None else f"{event} ({mode})"
+                self.spans.append(
+                    Span(
+                        name=name,
+                        category="fault",
+                        node=node_id,
+                        start=now,
+                        duration=0.0,
+                        args=dict(fields),
+                    )
+                )
 
     # ------------------------------------------------------------------
     # Queries
@@ -242,3 +299,18 @@ class ObsCollector(EnvObserver):
         return sum(
             1 for t in self.traces.values() if t.first_delivered_at is None
         )
+
+    def activity_spans(
+        self, node: int, start: float, end: float
+    ) -> list[Span]:
+        """Handler and wire spans of ``node`` starting inside
+        ``(start, end)`` -- the spans that prove a state transition.
+        A crashed node must produce none between its crash and restart
+        (requires ``record_spans=True``)."""
+        return [
+            s
+            for s in self.spans
+            if s.node == node
+            and s.category in ("handler", "wire")
+            and start < s.start < end
+        ]

@@ -18,8 +18,22 @@ from repro.obs.collect import ObsCollector
 # Chrome trace "tid" lanes within one node's "pid" track.
 _TID_COMMANDS = 0
 _TID_HANDLERS = 1
+_TID_WIRE = 2
+_TID_FAULTS = 3
 
-_CATEGORY_TID = {"command": _TID_COMMANDS, "handler": _TID_HANDLERS}
+_CATEGORY_TID = {
+    "command": _TID_COMMANDS,
+    "handler": _TID_HANDLERS,
+    "wire": _TID_WIRE,
+    "fault": _TID_FAULTS,
+}
+
+_TID_LABELS = (
+    (_TID_COMMANDS, "commands"),
+    (_TID_HANDLERS, "handlers"),
+    (_TID_WIRE, "wire"),
+    (_TID_FAULTS, "faults"),
+)
 
 
 def chrome_trace_events(collector: ObsCollector) -> list[dict]:
@@ -38,7 +52,7 @@ def chrome_trace_events(collector: ObsCollector) -> list[dict]:
                 "args": {"name": f"node {node}"},
             }
         )
-        for tid, label in ((_TID_COMMANDS, "commands"), (_TID_HANDLERS, "handlers")):
+        for tid, label in _TID_LABELS:
             events.append(
                 {
                     "name": "thread_name",
@@ -110,6 +124,15 @@ def jsonl_records(collector: ObsCollector) -> Iterator[dict]:
         yield {"kind": "owner_handoffs", "object": obj, "count": handoffs}
     for dst, depth in sorted(collector.outbox_depth.items()):
         yield {"kind": "outbox_depth", "destination": dst, "max_depth": depth}
+    for fault in collector.faults:
+        yield {
+            "kind": "fault",
+            "node": fault.node,
+            "event": fault.event,
+            "at": fault.at,
+            "mode": fault.mode,
+            "incarnation": fault.incarnation,
+        }
     yield {
         "kind": "summary",
         "path_counts": collector.path_counts(),

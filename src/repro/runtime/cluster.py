@@ -1,5 +1,12 @@
 """Convenience wrapper: an in-process cluster of RuntimeNodes on
-localhost ports -- what the examples use to demo the real runtime."""
+localhost ports -- what the examples use to demo the real runtime.
+
+Fault injection mirrors the simulator's: :meth:`LocalCluster.crash` and
+:meth:`LocalCluster.restart` give true crash--restart over TCP (durable
+or amnesia), and :meth:`LocalCluster.attach_faults` installs a per-node
+:class:`~repro.chaos.injector.WireFaults` shim driven by a declarative
+:class:`~repro.chaos.plan.FaultPlan` (times relative to the attach
+moment, since the runtime runs on the wall clock)."""
 
 from __future__ import annotations
 
@@ -24,6 +31,8 @@ class LocalCluster:
     """N runtime nodes on 127.0.0.1, each with its own port."""
 
     def __init__(self, n_nodes: int, protocol_factory: ProtocolFactory) -> None:
+        self.n_nodes = n_nodes
+        self.protocol_factory = protocol_factory
         ports = [_free_port() for _ in range(n_nodes)]
         self.peers = {i: ("127.0.0.1", port) for i, port in enumerate(ports)}
         self.nodes = [
@@ -39,6 +48,48 @@ class LocalCluster:
         for node in self.nodes:
             await node.stop()
 
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+
+    async def crash(self, node_id: int) -> None:
+        """Crash one node: server, inbound connections, timers all die."""
+        await self.nodes[node_id].stop()
+
+    async def restart(self, node_id: int, mode: str = "durable") -> None:
+        """Boot a new incarnation of a crashed node (see SimNode)."""
+        if mode == "durable":
+            await self.nodes[node_id].restart()
+        elif mode == "amnesia":
+            protocol = self.protocol_factory(node_id, self.n_nodes)
+            await self.nodes[node_id].restart(protocol)
+        else:
+            raise ValueError(f"unknown restart mode: {mode!r}")
+
+    def attach_faults(self, plan, seed: int = 0) -> None:
+        """Install ``plan``'s wire faults on every node's send path.
+
+        Must be called with the event loop running; window times in the
+        plan are measured from this call.  (Crash entries in the plan
+        are not scheduled here -- drive those with :meth:`crash` /
+        :meth:`restart`, which the caller usually wants to await.)
+        """
+        from repro.chaos.injector import WireFaults
+
+        offset = asyncio.get_running_loop().time()
+        for node in self.nodes:
+            node.wire_faults = WireFaults(
+                plan, (seed << 8) | node.node_id, offset=offset
+            )
+
+    def detach_faults(self) -> None:
+        for node in self.nodes:
+            node.wire_faults = None
+
+    # ------------------------------------------------------------------
+    # Driving and inspection
+    # ------------------------------------------------------------------
+
     def propose(self, node_id: int, command: Command) -> None:
         self.nodes[node_id].propose(command)
 
@@ -50,9 +101,19 @@ class LocalCluster:
         count: int,
         node_id: Optional[int] = None,
         timeout: float = 10.0,
+        nodes: Optional[list[int]] = None,
     ) -> None:
-        """Wait until node(s) delivered at least ``count`` commands."""
-        targets = [node_id] if node_id is not None else range(len(self.nodes))
+        """Wait until node(s) delivered at least ``count`` commands.
+
+        ``nodes`` restricts the wait to a subset (e.g. the nodes still
+        alive in a chaos test); ``node_id`` is the single-node shorthand.
+        """
+        if nodes is not None:
+            targets = list(nodes)
+        elif node_id is not None:
+            targets = [node_id]
+        else:
+            targets = list(range(len(self.nodes)))
 
         async def poll() -> None:
             while any(len(self.nodes[i].delivered) < count for i in targets):

@@ -12,6 +12,14 @@ single sender task, which coalesces everything queued into one
 one sender per destination means wire order always matches send order
 -- including across reconnects, where the old ad-hoc
 ``_connect_and_send`` futures could race each other and direct writes.
+
+Failure semantics match the simulator's: :meth:`RuntimeNode.stop` is a
+real crash (timers cancelled, senders killed, the listening server
+*and* every established inbound connection closed, so a dead node
+processes nothing), and :meth:`RuntimeNode.restart` boots a new
+incarnation either durably or with amnesia.  An optional
+:class:`~repro.chaos.injector.WireFaults` shim on the send path drops,
+duplicates, or delays outbound messages per a declarative fault plan.
 """
 
 from __future__ import annotations
@@ -72,8 +80,11 @@ class RuntimeEnv(Env):
 
     def set_timer(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
         node = self._node
-        loop = asyncio.get_running_loop()
         timer = _AsyncTimer(node._timers)
+        if node._closed:
+            # A crashed machine arms nothing; the handle is inert.
+            return timer
+        loop = asyncio.get_running_loop()
 
         def fire() -> None:
             node._timers.discard(timer)
@@ -112,11 +123,19 @@ class RuntimeNode:
         self.peers = peers
         self.protocol = protocol
         self.delivered: list[Command] = []
+        # One entry per finished amnesia incarnation, as in SimNode.
+        self.delivery_history: list[list[Command]] = []
+        self.incarnation = 0
         # Same shape as SimNode's: ``listener(node_id, command, now)``,
         # so one metrics collector serves both substrates.
         self.deliver_listeners: list[Callable[[int, Command, float], None]] = []
+        # Optional chaos shim (repro.chaos.injector.WireFaults): maps
+        # ``(src, dst, now)`` to the delay offsets of the copies of each
+        # outbound message -- [] drops, [0.0] passes, more duplicates.
+        self.wire_faults: Optional[Callable[[int, int, float], list[float]]] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._inbound: set[asyncio.StreamWriter] = set()
         self._outgoing: dict[int, list[bytes]] = {}
         self._senders: dict[int, asyncio.Task] = {}
         self._timers: set[_AsyncTimer] = set()
@@ -135,6 +154,17 @@ class RuntimeNode:
         self.run_event(self.protocol.on_start)
 
     async def stop(self) -> None:
+        """Crash this node for real.
+
+        Beyond cancelling timers and senders, every established inbound
+        connection is closed too -- a stopped node must not keep
+        processing frames that arrive on sockets accepted before the
+        "crash".  The node stays constructible into a new incarnation
+        via :meth:`restart`.
+        """
+        if self._closed:
+            return
+        self.env.observe("fault", event="crash", incarnation=self.incarnation)
         self._closed = True
         # Protocol timers must not fire into a closed node: cancel every
         # live handle (fired/cancelled timers deregister themselves).
@@ -151,9 +181,38 @@ class RuntimeNode:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+            self._server = None
         for writer in self._writers.values():
             writer.close()
         self._writers.clear()
+        for writer in list(self._inbound):
+            writer.close()
+        self._inbound.clear()
+
+    async def restart(self, protocol: Optional[Protocol] = None) -> None:
+        """Boot a new incarnation of this node.
+
+        ``protocol=None`` is a durable-log restart (the protocol object
+        survives; :meth:`Protocol.on_restart` clears volatile round
+        state); passing a fresh ``protocol`` is an amnesia restart (the
+        old delivery log is archived, the node rejoins blank).
+        """
+        if not self._closed:
+            raise RuntimeError(f"node {self.node_id} is not stopped")
+        self.incarnation += 1
+        mode = "durable" if protocol is None else "amnesia"
+        if protocol is None:
+            self.protocol.on_restart()
+        else:
+            self.delivery_history.append(self.delivered)
+            self.delivered = []
+            protocol.bind(self.env)
+            self.protocol = protocol
+        self._closed = False
+        self.env.observe(
+            "fault", event="restart", mode=mode, incarnation=self.incarnation
+        )
+        await self.start()
 
     # ------------------------------------------------------------------
     # Outbound
@@ -170,6 +229,9 @@ class RuntimeNode:
             self.env.end_event()
 
     def propose(self, command: Command) -> None:
+        if self._closed:
+            # A dead machine takes no client requests.
+            return
         self.env.observe_propose(command)
         self.run_event(lambda: self.protocol.propose(command))
 
@@ -179,12 +241,38 @@ class RuntimeNode:
             return
         if dst == self.node_id:
             # Local loopback: dispatch on the next loop tick so handlers
-            # never re-enter the protocol synchronously.
+            # never re-enter the protocol synchronously.  Chaos leaves
+            # loopback alone (it never crosses the wire).
             loop = asyncio.get_running_loop()
             for message in messages:
                 loop.call_soon(self._dispatch, self.node_id, message)
             return
-        frames = b"".join(encode_message(self.node_id, m) for m in messages)
+        faults = self.wire_faults
+        if faults is None:
+            frames = b"".join(encode_message(self.node_id, m) for m in messages)
+            self._enqueue_frames(dst, frames)
+            return
+        # Fault shim: evaluate drop/duplicate/delay per message.  On-time
+        # copies of one batch still coalesce into a single write; delayed
+        # copies are re-queued by the event loop when their extra delay
+        # elapses (FIFO order within the link is deliberately broken --
+        # that is the fault being injected).
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        on_time: list[bytes] = []
+        for message in messages:
+            frame = encode_message(self.node_id, message)
+            for extra in faults(self.node_id, dst, now):
+                if extra <= 0:
+                    on_time.append(frame)
+                else:
+                    loop.call_later(extra, self._enqueue_frames, dst, frame)
+        if on_time:
+            self._enqueue_frames(dst, b"".join(on_time))
+
+    def _enqueue_frames(self, dst: int, frames: bytes) -> None:
+        if self._closed:
+            return
         queue = self._outgoing.setdefault(dst, [])
         queue.append(frames)
         # Queue depth in *flush batches* awaiting the sender task: the
@@ -232,6 +320,7 @@ class RuntimeNode:
     async def _on_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._inbound.add(writer)
         try:
             while not self._closed:
                 header = await reader.readexactly(FRAME_HEADER.size)
@@ -247,6 +336,7 @@ class RuntimeNode:
             # Server shut down while this handler was awaiting a frame.
             pass
         finally:
+            self._inbound.discard(writer)
             writer.close()
 
     def _dispatch(self, sender: int, message: Message) -> None:

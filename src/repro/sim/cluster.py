@@ -46,6 +46,7 @@ class Cluster:
 
     def __init__(self, config: ClusterConfig, protocol_factory: ProtocolFactory) -> None:
         self.config = config
+        self.protocol_factory = protocol_factory
         self.loop = EventLoop()
         self.rng = RngRegistry(config.seed)
         self.network = Network(self.loop, config.n_nodes, config.network, self.rng)
@@ -92,6 +93,23 @@ class Cluster:
     def crash(self, node_id: int) -> None:
         self.nodes[node_id].crash()
 
+    def restart(self, node_id: int, mode: str = "durable") -> None:
+        """Boot a new incarnation of a crashed node.
+
+        ``mode="durable"`` keeps the protocol object (its state is the
+        durable log) and clears only volatile round state;
+        ``mode="amnesia"`` replaces it with a factory-fresh instance --
+        all acceptor promises are lost, exactly the failure the paper's
+        crash-recovery sketch has to survive.
+        """
+        if mode == "durable":
+            self.nodes[node_id].restart()
+        elif mode == "amnesia":
+            protocol = self.protocol_factory(node_id, self.config.n_nodes)
+            self.nodes[node_id].restart(protocol)
+        else:
+            raise ValueError(f"unknown restart mode: {mode!r}")
+
     def partition(self, group_a: set[int], group_b: set[int]) -> None:
         self.network.partition(group_a, group_b)
 
@@ -113,37 +131,46 @@ class Cluster:
     def check_consistency(self) -> None:
         """Assert the Generalized Consensus safety properties.
 
-        For every pair of (possibly crashed) nodes, the restrictions of
-        their delivered sequences to each object must be prefixes of one
-        another, and no node may deliver the same command twice.
+        For every pair of delivery logs -- the current log of every
+        (possibly crashed) node plus the archived log of every past
+        amnesia incarnation -- the restrictions to each object must be
+        prefixes of one another, and no log may contain the same
+        command twice.  An amnesia restart legitimately *re*-delivers
+        from scratch, but each incarnation must replay the same
+        per-object order.
 
         Implementation note: instead of the quadratic pairwise
-        `CStruct.is_prefix_compatible`, each node's per-object sequence
-        is extracted once and every pair of sequences is compared
-        directly -- same property, one pass over each delivery log.
+        `CStruct.is_prefix_compatible`, each log's per-object sequence
+        is extracted once and every sequence is compared against the
+        longest -- same property, one pass over each delivery log.
         """
-        per_node: list[dict[str, list[tuple[int, int]]]] = []
+        labelled_logs: list[tuple[str, list]] = []
         for node in self.nodes:
+            for life, log in enumerate(node.delivery_history):
+                labelled_logs.append((f"node {node.node_id} (life {life})", log))
+            labelled_logs.append((f"node {node.node_id}", node.delivered))
+        per_log: list[dict[str, list[tuple[int, int]]]] = []
+        for label, log in labelled_logs:
             seqs: dict[str, list[tuple[int, int]]] = {}
             seen: set[tuple[int, int]] = set()
-            for command in node.delivered:
+            for command in log:
                 if command.cid in seen:
                     raise ConsistencyViolation(
-                        f"node {node.node_id} delivered {command} twice"
+                        f"{label} delivered {command} twice"
                     )
                 seen.add(command.cid)
                 for obj in command.ls:
                     seqs.setdefault(obj, []).append(command.cid)
-            per_node.append(seqs)
+            per_log.append(seqs)
         all_objects = set()
-        for seqs in per_node:
+        for seqs in per_log:
             all_objects.update(seqs)
         for obj in all_objects:
-            sequences = [seqs.get(obj, []) for seqs in per_node]
+            sequences = [seqs.get(obj, []) for seqs in per_log]
             longest = max(sequences, key=len)
-            for node_id, seq in enumerate(sequences):
+            for (label, _log), seq in zip(labelled_logs, sequences):
                 if seq != longest[: len(seq)]:
                     raise ConsistencyViolation(
-                        f"object {obj!r}: node {node_id} delivered conflicting "
+                        f"object {obj!r}: {label} delivered conflicting "
                         f"commands in a different order"
                     )

@@ -14,7 +14,7 @@ failure-injection hooks used by the fault-tolerance tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.sim.event_loop import EventLoop
 from repro.sim.latency import FixedLatency, LatencyModel
@@ -68,10 +68,16 @@ class Network:
         self._crashed: set[int] = set()
         self._partitions: list[tuple[frozenset[int], frozenset[int]]] = []
         self._last_delivery: dict[tuple[int, int], float] = {}
+        # Optional chaos hook (see repro.chaos.injector.WireFaults): maps
+        # ``(src, dst, now)`` to the delay offsets of the copies to
+        # deliver -- ``[]`` drops, ``[0.0]`` is a plain delivery,
+        # ``[0.0, 0.0]`` duplicates, non-zero entries add delay spikes.
+        self.injector: Optional[Callable[[int, int, float], list[float]]] = None
         # Counters for the metrics layer.
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.messages_duplicated = 0
         self.bytes_sent = 0
 
     def register(
@@ -138,9 +144,22 @@ class Network:
         ):
             self.messages_dropped += 1
             return
+        if self.injector is not None and src != dst:
+            offsets = self.injector(src, dst, self.loop.now)
+            if not offsets:
+                self.messages_dropped += 1
+                return
+            self.messages_duplicated += len(offsets) - 1
+        else:
+            offsets = (0.0,)
+        for extra in offsets:
+            self._schedule_delivery(src, dst, message, size, extra)
 
+    def _schedule_delivery(
+        self, src: int, dst: int, message: object, size: int, extra: float
+    ) -> None:
         delay = self.config.latency.sample(src, dst, self._rng)
-        delay += self.transmission_delay(size)
+        delay += self.transmission_delay(size) + extra
         arrival = self.loop.now + delay
         if self.config.fifo_links and src != dst:
             link = (src, dst)

@@ -6,6 +6,18 @@ passes through the node's :class:`repro.sim.cpu.CpuModel`, so protocol
 handlers *complete* only after their simulated CPU cost has been paid --
 this is what creates the saturation behaviour the paper's throughput
 figures measure.
+
+Crash--restart is real here, not a message filter: :meth:`SimNode.crash`
+cancels every live timer, quarantines the node (no sends, receives,
+proposals, timer firings, or deliveries), and bumps an incarnation
+counter so in-flight events charged to the old life can never execute
+in the new one.  :meth:`SimNode.restart` rejoins the cluster either
+*durably* (the protocol object -- acceptor promises, accepted values,
+decided log -- survives as if reloaded from disk, with volatile round
+state cleared via :meth:`Protocol.on_restart`) or with *amnesia* (a
+fresh protocol instance; the previous delivery log is archived to
+``delivery_history`` because the application state machine restarts
+from scratch too).
 """
 
 from __future__ import annotations
@@ -22,13 +34,24 @@ from repro.sim.rng import RngRegistry
 
 
 class _SimTimer(TimerHandle):
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_registry")
 
-    def __init__(self, event: Event) -> None:
+    def __init__(self, event: Event, registry: set[Event]) -> None:
         self._event = event
+        self._registry = registry
 
     def cancel(self) -> None:
         self._event.cancel()
+        self._registry.discard(self._event)
+
+
+class _DeadTimer(TimerHandle):
+    """Returned for timers set while crashed: never fires, cancel no-ops."""
+
+    __slots__ = ()
+
+    def cancel(self) -> None:
+        pass
 
 
 class SimEnv(Env):
@@ -42,8 +65,10 @@ class SimEnv(Env):
     def _transmit(self, dst: int, message: Message) -> None:
         # Out-of-event send (tests poking a protocol directly): one
         # message, one syscall's worth of CPU.
-        self._charge_send(n_messages=1, n_batches=1)
         node = self._node
+        if node.crashed:
+            return
+        self._charge_send(n_messages=1, n_batches=1)
         node.network.send(self.node_id, dst, message, message.size_bytes())
 
     def _flush(
@@ -56,8 +81,10 @@ class SimEnv(Env):
         # syscall, so the cost is charged once per *batch*.  The cost
         # occupies the sender's cores but does not delay the messages
         # (the NIC drains asynchronously).
-        self._charge_send(n_messages=len(queued), n_batches=len(batches))
         node = self._node
+        if node.crashed:
+            return
+        self._charge_send(n_messages=len(queued), n_batches=len(batches))
         # Transmit in issue order, not batch order: per-send latency
         # draws and event-heap insertion stay identical to unbatched
         # runs, keeping decision logs reproducible.
@@ -76,12 +103,19 @@ class SimEnv(Env):
 
     def set_timer(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
         node = self._node
+        if node.crashed:
+            # A crashed machine arms nothing; the handle is inert.
+            return _DeadTimer()
+        incarnation = node.incarnation
 
         def fire() -> None:
-            if not node.crashed:
+            node._timers.discard(event)
+            if not node.crashed and node.incarnation == incarnation:
                 node.run_event(callback)
 
-        return _SimTimer(node.loop.schedule(delay, fire))
+        event = node.loop.schedule(delay, fire)
+        node._timers.add(event)
+        return _SimTimer(event, node._timers)
 
     def now(self) -> float:
         return self._node.loop.now
@@ -113,8 +147,13 @@ class SimNode:
         self.rng = rng.stream(f"node-{node_id}")
         self.cpu = CpuModel(cpu_config or CpuConfig())
         self.crashed = False
+        self.incarnation = 0
         self.delivered: list[Command] = []
+        # One entry per finished amnesia incarnation: the delivery log
+        # the application had built before that crash wiped it.
+        self.delivery_history: list[list[Command]] = []
         self.deliver_listeners: list[Callable[[int, Command, float], None]] = []
+        self._timers: set[Event] = set()
 
         self.env = SimEnv(self)
         protocol.bind(self.env)
@@ -142,9 +181,14 @@ class SimNode:
     def _charge_and_run(self, message: Optional[Message], fn: Callable[[], None]) -> None:
         cost, serial = self.protocol.processing_cost(message)
         done = self.cpu.submit(self.loop.now, cost, serial)
+        incarnation = self.incarnation
 
         def run() -> None:
-            self.run_event(fn)
+            # The CPU-completion callback may be reached after a crash
+            # (and even after a restart): work charged to a dead
+            # incarnation must never execute.
+            if not self.crashed and self.incarnation == incarnation:
+                self.run_event(fn)
 
         if done <= self.loop.now:
             run()
@@ -193,13 +237,52 @@ class SimNode:
     # ------------------------------------------------------------------
 
     def on_deliver(self, command: Command) -> None:
+        if self.crashed:
+            return
         self.delivered.append(command)
         now = self.loop.now
         for listener in self.deliver_listeners:
             listener(self.node_id, command, now)
 
     def crash(self) -> None:
-        """Crash this node: no more sends, receives, or timer firings."""
+        """Crash this node for real: cancel every live timer, stop all
+        sends/receives/proposals/deliveries, and notify observers.  The
+        process is dead until :meth:`restart`; nothing it scheduled
+        before the crash may run."""
+        if self.crashed:
+            return
+        self.env.observe("fault", event="crash", incarnation=self.incarnation)
         self.crashed = True
+        for event in self._timers:
+            event.cancel()
+        self._timers.clear()
         self.network.crash(self.node_id)
         self.protocol.crash()
+
+    def restart(self, protocol: Optional[Protocol] = None) -> None:
+        """Boot a new incarnation of this machine.
+
+        ``protocol=None`` is a *durable-log* restart: the existing
+        protocol object's state survives (it is the durable log) and
+        :meth:`Protocol.on_restart` clears its volatile round state.
+        Passing a fresh ``protocol`` is an *amnesia* restart: all
+        acceptor state is lost, the application log is archived, and
+        the node rejoins as a blank participant.
+        """
+        if not self.crashed:
+            raise RuntimeError(f"node {self.node_id} is not crashed")
+        self.incarnation += 1
+        mode = "durable" if protocol is None else "amnesia"
+        if protocol is None:
+            self.protocol.on_restart()
+        else:
+            self.delivery_history.append(self.delivered)
+            self.delivered = []
+            protocol.bind(self.env)
+            self.protocol = protocol
+        self.crashed = False
+        self.network.recover(self.node_id)
+        self.env.observe(
+            "fault", event="restart", mode=mode, incarnation=self.incarnation
+        )
+        self.run_event(self.protocol.on_start)

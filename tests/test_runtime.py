@@ -148,3 +148,145 @@ class TestLiveCluster:
                 await cluster.stop()
 
         self.run(scenario())
+
+
+class TestRuntimeChaos:
+    """True crash--restart and wire faults over real TCP."""
+
+    def run(self, coro):
+        return asyncio.run(asyncio.wait_for(coro, timeout=30))
+
+    def test_crashed_node_processes_nothing(self):
+        async def scenario():
+            cluster = LocalCluster(3, lambda i, n: M2Paxos())
+            await cluster.start()
+            try:
+                cluster.propose(0, Command.make(0, 0, ["x"]))
+                await cluster.wait_delivered(1)
+                await cluster.crash(1)
+                frozen = len(cluster.delivered(1))
+                assert cluster.nodes[1]._timers == set()
+                for seq in range(1, 4):
+                    cluster.propose(0, Command.make(0, seq, ["x"]))
+                await cluster.wait_delivered(4, nodes=[0, 2])
+                # The dead node saw none of it: no server, and its old
+                # inbound connections were closed at crash time.
+                assert len(cluster.delivered(1)) == frozen
+                # Proposals to a dead node are refused outright.
+                cluster.propose(1, Command.make(1, 0, ["x"]))
+                await asyncio.sleep(0.1)
+                assert len(cluster.delivered(1)) == frozen
+            finally:
+                await cluster.stop()
+
+        self.run(scenario())
+
+    def test_durable_restart_over_tcp_catches_up(self):
+        async def scenario():
+            cluster = LocalCluster(3, lambda i, n: M2Paxos())
+            await cluster.start()
+            try:
+                for seq in range(3):
+                    cluster.propose(0, Command.make(0, seq, ["x"]))
+                await cluster.wait_delivered(3)
+                await cluster.crash(1)
+                for seq in range(3, 6):
+                    cluster.propose(0, Command.make(0, seq, ["x"]))
+                await cluster.wait_delivered(6, nodes=[0, 2])
+                await cluster.restart(1, mode="durable")
+                # Learn re-sends fill in what the node missed while down.
+                await cluster.wait_delivered(6, node_id=1, timeout=15.0)
+                assert [c.cid for c in cluster.delivered(1)] == [
+                    (0, s) for s in range(6)
+                ]
+            finally:
+                await cluster.stop()
+
+        self.run(scenario())
+
+    def test_amnesia_restart_over_tcp_rejoins_blank(self):
+        async def scenario():
+            cluster = LocalCluster(3, lambda i, n: M2Paxos())
+            await cluster.start()
+            try:
+                for seq in range(3):
+                    cluster.propose(2, Command.make(2, seq, ["y"]))
+                await cluster.wait_delivered(3)
+                await cluster.crash(2)
+                await cluster.restart(2, mode="amnesia")
+                assert cluster.delivered(2) == []
+                assert len(cluster.nodes[2].delivery_history) == 1
+                assert len(cluster.nodes[2].delivery_history[0]) == 3
+                # The blank node participates again: new commands on a
+                # fresh object reach everyone, including it.
+                for seq in range(3):
+                    cluster.propose(0, Command.make(0, seq, ["z"]))
+                await cluster.wait_delivered(3, nodes=[0, 1])
+                await cluster.wait_delivered(3, node_id=2, timeout=15.0)
+                zs = [c.cid for c in cluster.delivered(2) if "z" in c.ls]
+                assert zs == [(0, s) for s in range(3)]
+            finally:
+                await cluster.stop()
+
+        self.run(scenario())
+
+    def test_wire_faults_shim_duplicates_are_deduped(self):
+        async def scenario():
+            from repro.chaos import DuplicateWindow, FaultPlan
+
+            cluster = LocalCluster(3, lambda i, n: M2Paxos())
+            await cluster.start()
+            try:
+                cluster.attach_faults(
+                    FaultPlan(
+                        duplicates=(
+                            DuplicateWindow(start=0.0, end=60.0, probability=1.0),
+                        )
+                    ),
+                    seed=3,
+                )
+                for seq in range(5):
+                    cluster.propose(0, Command.make(0, seq, ["w"]))
+                await cluster.wait_delivered(5)
+                dup_total = sum(
+                    node.wire_faults.duplicated for node in cluster.nodes
+                )
+                assert dup_total > 0
+                for i in range(3):
+                    assert [c.cid for c in cluster.delivered(i)] == [
+                        (0, s) for s in range(5)
+                    ]
+            finally:
+                await cluster.stop()
+
+        self.run(scenario())
+
+    def test_wire_faults_drop_window_heals(self):
+        async def scenario():
+            from repro.chaos import DropWindow, FaultPlan
+
+            cluster = LocalCluster(3, lambda i, n: M2Paxos())
+            await cluster.start()
+            try:
+                # Sever node 0 -> node 1 briefly; retries ride over it.
+                cluster.attach_faults(
+                    FaultPlan(
+                        drops=(
+                            DropWindow(
+                                start=0.0, end=0.3, probability=1.0, dst=1
+                            ),
+                        )
+                    ),
+                    seed=4,
+                )
+                for seq in range(3):
+                    cluster.propose(0, Command.make(0, seq, ["v"]))
+                await cluster.wait_delivered(3, timeout=15.0)
+                orders = {
+                    tuple(c.cid for c in cluster.delivered(i)) for i in range(3)
+                }
+                assert orders == {tuple((0, s) for s in range(3))}
+            finally:
+                await cluster.stop()
+
+        self.run(scenario())
