@@ -33,9 +33,19 @@ PROTOCOLS = ("m2paxos", "multipaxos", "genpaxos", "epaxos")
 
 
 def protocol_factory(
-    name: str, home_hint: Optional[Callable[[str], int]] = None
+    name: str,
+    home_hint: Optional[Callable[[str], int]] = None,
+    max_batch: int = 1,
+    batch_wait: float = 0.0,
+    costs=None,
 ) -> Callable[[int, int], Protocol]:
-    """Benchmark-tuned factory for each protocol under test."""
+    """Benchmark-tuned factory for each protocol under test.
+
+    ``max_batch``/``batch_wait`` configure M2Paxos fast-path batching
+    (ignored by the other protocols); ``costs`` optionally replaces the
+    protocol's CPU-cost profile (the perf bench uses a wire-bound
+    profile to isolate the protocol-layer effect of batching).
+    """
     if name == "m2paxos":
         config = M2PaxosConfig(
             forward_timeout=1.0,
@@ -47,8 +57,17 @@ def protocol_factory(
             supervise_timeout=30.0,
             round_timeout=10.0,
             home_hint=home_hint,
+            max_batch=max_batch,
+            batch_wait=batch_wait,
         )
-        return lambda node_id, n: M2Paxos(config)
+
+        def make_m2(node_id: int, n: int) -> Protocol:
+            protocol = M2Paxos(config)
+            if costs is not None:
+                protocol.costs = costs
+            return protocol
+
+        return make_m2
     if name == "multipaxos":
         config = MultiPaxosConfig(leader_timeout=30.0)
         return lambda node_id, n: MultiPaxos(config)
@@ -80,6 +99,11 @@ class PointSpec:
     batching: bool = True
     latency_mean: float = 100e-6
     latency_stddev: float = 10e-6
+    # M2Paxos fast-path batching (1 = off, the seed-identical default).
+    max_batch: int = 1
+    batch_wait: float = 0.0
+    # "estimate" (seed default) or "codec" (real binary frame sizes).
+    frame_sizes: str = "estimate"
 
     def scaled_for_fast_mode(self) -> "PointSpec":
         """Cheaper variant used when REPRO_BENCH_FAST is set."""
@@ -98,18 +122,23 @@ def build_workload(spec: PointSpec, rng: RngRegistry):
     raise ValueError(f"unknown workload {spec.workload!r}")
 
 
-def run_point(spec: PointSpec, record_spans: bool = False) -> RunResult:
+def run_point(
+    spec: PointSpec, record_spans: bool = False, costs=None
+) -> RunResult:
     """Simulate one datapoint and return its measurements.
 
     With ``record_spans`` the run also keeps the full span log; the
     attached observability collector rides along in
-    ``result.extra["obs"]`` for the trace exporters.
+    ``result.extra["obs"]`` for the trace exporters.  ``costs``
+    optionally replaces the protocol's CPU-cost profile (see
+    :func:`protocol_factory`).
     """
     if fast_mode():
         spec = spec.scaled_for_fast_mode()
     network = NetworkConfig(
         latency=GaussianLatency(spec.latency_mean, spec.latency_stddev),
         batching=spec.batching,
+        frame_sizes=spec.frame_sizes,
     )
     home_hint = None
     if spec.workload == "tpcc":
@@ -127,7 +156,13 @@ def run_point(spec: PointSpec, record_spans: bool = False) -> RunResult:
             network=network,
             cpu=CpuConfig(cores=spec.cores),
         ),
-        protocol_factory(spec.protocol, home_hint=home_hint),
+        protocol_factory(
+            spec.protocol,
+            home_hint=home_hint,
+            max_batch=spec.max_batch,
+            batch_wait=spec.batch_wait,
+            costs=costs,
+        ),
     )
     workload_rng = RngRegistry(spec.seed * 7919 + 13)
     workload = build_workload(spec, workload_rng)

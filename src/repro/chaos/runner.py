@@ -120,13 +120,18 @@ def _fingerprint(logs: dict[int, list[list[Command]]]) -> str:
     return digest.hexdigest()
 
 
-def run_scenario(scenario: Scenario) -> ChaosResult:
+def run_scenario(
+    scenario: Scenario, config: Optional[M2PaxosConfig] = None
+) -> ChaosResult:
     """Execute ``scenario`` once and check it; never raises on a safety
-    failure -- violations land in the returned report."""
+    failure -- violations land in the returned report.  ``config``
+    overrides the chaos-tuned protocol config (the batching tests rerun
+    the suite with ``max_batch > 1``)."""
     plan = scenario.plan
+    protocol_config = config if config is not None else _CHAOS_M2
     cluster = Cluster(
         ClusterConfig(n_nodes=scenario.n_nodes, seed=scenario.seed),
-        lambda node_id, n_nodes: M2Paxos(config=_CHAOS_M2),
+        lambda node_id, n_nodes: M2Paxos(config=protocol_config),
     )
     faults: Optional[WireFaults] = None
     if plan.has_wire_faults:

@@ -9,6 +9,7 @@ Usage::
     python -m repro figures fig1 [--full]
     python -m repro modelcheck [--ballots 2]
     python -m repro chaos [--smoke | --list | NAME ...]
+    python -m repro perf [--smoke] [--out BENCH.json]
 """
 
 from __future__ import annotations
@@ -222,6 +223,53 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    """Run the seeded performance microbenches; write one BENCH_*.json
+    datapoint.  ``--smoke`` shrinks every bench for CI and makes the
+    regression assertions (batched beats unbatched, binary beats JSON)
+    fatal."""
+    from repro.bench.perf import (
+        PerfConfig,
+        check_regressions,
+        run_perf,
+        write_datapoint,
+    )
+
+    config = PerfConfig(seed=args.seed)
+    if args.smoke:
+        config = config.scaled_for_smoke()
+    datapoint = run_perf(config, only=args.benches or None)
+    path = write_datapoint(datapoint, args.out)
+
+    rows = []
+    results = datapoint["results"]
+    if "sim" in results:
+        rows.append({"bench": "sim events/sec",
+                     "value": results["sim"]["events_per_sec"]})
+    if "codec" in results:
+        rows.append({"bench": "codec binary/json speedup",
+                     "value": results["codec"]["speedup"]})
+        rows.append({"bench": "codec bytes/msg (bin)",
+                     "value": results["codec"]["binary_bytes_per_msg"]})
+    if "m2_batching" in results:
+        rows.append({"bench": "m2 batched cmds/sec",
+                     "value": results["m2_batching"]["batched"]["commands_per_sec"]})
+        rows.append({"bench": "m2 batching speedup",
+                     "value": results["m2_batching"]["speedup"]})
+    if "runtime_tcp" in results:
+        rows.append({"bench": "runtime TCP cmds/sec",
+                     "value": results["runtime_tcp"]["commands_per_sec"]})
+    print_table(f"perf ({', '.join(results) or 'none'})", rows, ["bench", "value"])
+    print(f"datapoint: {path}")
+
+    problems = check_regressions(datapoint)
+    for problem in problems:
+        print(f"perf regression: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    return 0
+
+
 def cmd_modelcheck(args) -> int:
     from repro.core.modelcheck import ModelChecker, ModelConfig
 
@@ -284,6 +332,22 @@ def main(argv=None) -> int:
         "--list", action="store_true", help="list scenarios and exit"
     )
     chaos_parser.set_defaults(fn=cmd_chaos)
+
+    perf_parser = sub.add_parser(
+        "perf", help="seeded perf microbenches; writes BENCH_<stamp>.json"
+    )
+    perf_parser.add_argument(
+        "benches", nargs="*",
+        help="subset to run: sim codec m2_batching runtime_tcp (default: all)",
+    )
+    perf_parser.add_argument("--seed", type=int, default=1)
+    perf_parser.add_argument(
+        "--smoke", action="store_true", help="quick CI variant"
+    )
+    perf_parser.add_argument(
+        "--out", default=None, help="datapoint path (default BENCH_<stamp>.json)"
+    )
+    perf_parser.set_defaults(fn=cmd_perf)
 
     mc_parser = sub.add_parser("modelcheck", help="exhaustive TLA+-mirror check")
     mc_parser.add_argument("--ballots", type=int, default=1)

@@ -134,6 +134,11 @@ class ProtocolCosts:
     propose_serial_fraction: float = 0.02
     send_cost: float = 4e-6
     batched_send_cost: float = 0.25e-6
+    # Extra CPU per additional command carried by one multi-command
+    # message (batched Accept/Decide rounds): handling a batch is
+    # cheaper than handling its commands separately, but not free.
+    # Zero (the default) keeps single-command timing bit-identical.
+    per_command_cost: float = 0.0
 
 
 class TimerHandle(ABC):

@@ -36,6 +36,7 @@ from typing import Optional
 
 from repro.consensus.base import Protocol, ProtocolCosts, classic_quorum_size
 from repro.core.delivery import DeliveryEngine
+from repro.core.messages import Accept, Decide
 from repro.core.policy import OnDemandPolicy
 from repro.core.m2.acceptor import AcceptorMixin
 from repro.core.m2.config import (
@@ -92,6 +93,11 @@ class M2Paxos(ProposerMixin, AcceptorMixin, OwnershipMixin, RecoveryMixin, Proto
         # are taken only once the old round is provably dead (one of its
         # instances decided with a different command).
         self._assigned: dict[tuple[int, int], dict[str, int]] = {}
+        # Fast-path batch queue (see ProposerMixin._enqueue_fast).  With
+        # ``config.max_batch == 1`` none of this is ever touched.
+        self._batch: list = []
+        self._batch_cids: set[tuple[int, int]] = set()
+        self._batch_timer = None
         # Diagnostics consumed by the benchmark harness.
         self.stats = {
             "fast_path": 0,
@@ -129,10 +135,30 @@ class M2Paxos(ProposerMixin, AcceptorMixin, OwnershipMixin, RecoveryMixin, Proto
         self._acquiring.clear()
         self._deferred.clear()
         self._assigned.clear()
+        self._batch.clear()
+        self._batch_cids.clear()
+        self._batch_timer = None  # already cancelled by the substrate
 
     @property
     def quorum(self) -> int:
         return classic_quorum_size(self.env.n_nodes)
+
+    def processing_cost(self, message):
+        """Charge multi-command rounds for their extra commands.
+
+        A batched Accept/Decide is one message but carries several
+        commands; when ``costs.per_command_cost`` is non-zero (the
+        benchmark's honest-batching profile) each command beyond the
+        first adds that much CPU, so batching amortises -- not erases --
+        per-command work in the simulator.
+        """
+        cost, serial = self.costs.base_cost, self.costs.serial_fraction
+        extra = self.costs.per_command_cost
+        if extra and isinstance(message, (Accept, Decide)):
+            n_commands = len({c.cid for c in message.to_decide.values()})
+            if n_commands > 1:
+                cost += extra * (n_commands - 1)
+        return cost, serial
 
     def _next_req(self) -> int:
         self._req_counter += 1

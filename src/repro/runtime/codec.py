@@ -1,10 +1,21 @@
-"""Wire codec: protocol messages <-> length-prefixed JSON frames.
+"""Wire codec: protocol messages <-> length-prefixed frames.
 
 Messages are frozen dataclasses whose fields are built from a small
 vocabulary (ints, strings, bools, Commands, tuples, frozensets, dicts
-with tuple keys).  The codec walks values recursively and tags the
-non-JSON-native shapes, so any current or future message class built
-from that vocabulary serialises without per-class code.
+with tuple keys).  Two codecs share that vocabulary:
+
+- a **binary fast path**: tag-byte framed, varint-packed values with
+  per-class encoders generated once from ``dataclasses.fields()`` and
+  cached, plus interned :class:`Command` bodies (a command is encoded
+  once and the bytes reused across every Accept/Decide/resend that
+  carries it, and decoded bodies are memoised the same way);
+- the original **JSON path**, kept as the fallback for message classes
+  the binary codec does not know (unknown or non-dataclass types) and
+  selectable explicitly for diagnostics.
+
+The first payload byte disambiguates: ``{`` (0x7B) opens a JSON object,
+0xB1 marks a binary frame, so mixed-version peers interoperate frame by
+frame.
 """
 
 from __future__ import annotations
@@ -12,7 +23,7 @@ from __future__ import annotations
 import json
 import struct
 from dataclasses import fields, is_dataclass
-from typing import Any
+from typing import Any, Optional
 
 from repro.consensus import epaxos, genpaxos, mencius, multipaxos, paxos
 from repro.consensus.base import Message
@@ -21,10 +32,21 @@ from repro.core import messages as core_messages
 
 _MESSAGE_CLASSES: dict[str, type] = {}
 
+# Binary-codec caches, invalidated per class on (re-)registration.
+_BIN_CLASS_INFO: dict[type, tuple[bytes, tuple[str, ...]]] = {}
+_BIN_FIELDS_BY_NAME: dict[str, tuple[type, tuple[str, ...]]] = {}
+_JSON_ONLY: set[type] = set()
+# JSON-path field cache: reflection over ``fields()`` runs once per
+# class, not once per encoded dataclass value.
+_JSON_FIELDS: dict[type, tuple[str, ...]] = {}
+
 
 def register_message(cls: type) -> None:
     """Make ``cls`` decodable; idempotent."""
     _MESSAGE_CLASSES[cls.__name__] = cls
+    _BIN_CLASS_INFO.pop(cls, None)
+    _BIN_FIELDS_BY_NAME.pop(cls.__name__, None)
+    _JSON_ONLY.discard(cls)
 
 
 for module in (core_messages, multipaxos, genpaxos, epaxos, paxos, mencius):
@@ -32,6 +54,33 @@ for module in (core_messages, multipaxos, genpaxos, epaxos, paxos, mencius):
         obj = getattr(module, name)
         if isinstance(obj, type) and issubclass(obj, Message) and obj is not Message:
             register_message(obj)
+
+
+# ----------------------------------------------------------------------
+# JSON path (fallback + explicit)
+# ----------------------------------------------------------------------
+
+
+def _sort_key(value: Any) -> tuple:
+    """Deterministic total order over already-encoded JSON values.
+
+    Cheaper than the former ``key=repr``: scalars compare natively and
+    containers recurse into tuples instead of rendering strings.
+    """
+    t = value.__class__
+    if t is str:
+        return (3, value)
+    if t is bool:
+        return (1, value)
+    if t is int or t is float:
+        return (2, value)
+    if value is None:
+        return (0, 0)
+    if t is list:
+        return (4, tuple(_sort_key(v) for v in value))
+    if t is dict:
+        return (5, tuple(sorted((k, _sort_key(v)) for k, v in value.items())))
+    return (6, repr(value))
 
 
 def _encode_value(value: Any) -> Any:
@@ -50,7 +99,7 @@ def _encode_value(value: Any) -> Any:
     if isinstance(value, tuple):
         return {"__tup__": [_encode_value(v) for v in value]}
     if isinstance(value, (set, frozenset)):
-        return {"__set__": sorted((_encode_value(v) for v in value), key=repr)}
+        return {"__set__": sorted((_encode_value(v) for v in value), key=_sort_key)}
     if isinstance(value, dict):
         return {
             "__map__": [
@@ -58,12 +107,14 @@ def _encode_value(value: Any) -> Any:
             ]
         }
     if is_dataclass(value):
+        cls = type(value)
+        names = _JSON_FIELDS.get(cls)
+        if names is None:
+            names = tuple(f.name for f in fields(value))
+            _JSON_FIELDS[cls] = names
         return {
-            "__obj__": type(value).__name__,
-            "f": {
-                f.name: _encode_value(getattr(value, f.name))
-                for f in fields(value)
-            },
+            "__obj__": cls.__name__,
+            "f": {name: _encode_value(getattr(value, name)) for name in names},
         }
     raise TypeError(f"cannot encode {type(value).__name__}: {value!r}")
 
@@ -97,21 +148,333 @@ def _decode_value(value: Any) -> Any:
     return {k: _decode_value(v) for k, v in value.items()}
 
 
-def encode_message(sender: int, message: Message) -> bytes:
-    """One length-prefixed frame: 4-byte big-endian size + JSON."""
-    payload = json.dumps(
+def encode_payload_json(sender: int, message: Message) -> bytes:
+    """The JSON frame payload (no length prefix)."""
+    return json.dumps(
         {"s": sender, "m": _encode_value(message)}, separators=(",", ":")
     ).encode()
-    return struct.pack(">I", len(payload)) + payload
+
+
+# ----------------------------------------------------------------------
+# Binary fast path
+# ----------------------------------------------------------------------
+
+_BIN_MAGIC = 0xB1
+"""First payload byte of a binary frame (a JSON frame starts with '{')."""
+
+(
+    _T_NONE,
+    _T_TRUE,
+    _T_FALSE,
+    _T_INT,
+    _T_FLOAT,
+    _T_STR,
+    _T_TUPLE,
+    _T_SET,
+    _T_MAP,
+    _T_CMD,
+    _T_OBJ,
+) = range(11)
+
+_F64 = struct.Struct(">d")
+
+
+class _Unencodable(TypeError):
+    """A value outside the binary vocabulary; the frame falls back to JSON."""
+
+
+def _write_uvarint(out: bytearray, n: int) -> None:
+    while n > 0x7F:
+        out.append((n & 0x7F) | 0x80)
+        n >>= 7
+    out.append(n)
+
+
+def _write_svarint(out: bytearray, n: int) -> None:
+    # ZigZag: small magnitudes of either sign stay one byte.
+    _write_uvarint(out, n << 1 if n >= 0 else ((-n) << 1) - 1)
+
+
+def _read_uvarint(buf: memoryview, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _unzigzag(u: int) -> int:
+    return (u >> 1) if not (u & 1) else -((u + 1) >> 1)
+
+
+def _class_info(cls: type) -> Optional[tuple[bytes, tuple[str, ...]]]:
+    """``(length-prefixed name bytes, field names)`` for a registered
+    dataclass message; generated once per class and cached."""
+    info = _BIN_CLASS_INFO.get(cls)
+    if info is None:
+        if _MESSAGE_CLASSES.get(cls.__name__) is not cls or not is_dataclass(cls):
+            return None
+        raw = cls.__name__.encode()
+        prefixed = bytearray()
+        _write_uvarint(prefixed, len(raw))
+        prefixed += raw
+        info = (bytes(prefixed), tuple(f.name for f in fields(cls)))
+        _BIN_CLASS_INFO[cls] = info
+    return info
+
+
+def _encode_command_body(command: Command) -> bytes:
+    body = command.__dict__.get("_bin_body")
+    if body is None:
+        out = bytearray()
+        _write_svarint(out, command.cid[0])
+        _write_svarint(out, command.cid[1])
+        ls = sorted(command.ls)
+        _write_uvarint(out, len(ls))
+        for obj_id in ls:
+            raw = obj_id.encode()
+            _write_uvarint(out, len(raw))
+            out += raw
+        _write_uvarint(out, command.payload_bytes)
+        _write_svarint(out, command.proposer)
+        out.append(1 if command.noop else 0)
+        body = bytes(out)
+        object.__setattr__(command, "_bin_body", body)
+    return body
+
+
+def _bin_encode(value: Any, out: bytearray) -> None:
+    t = value.__class__
+    if t is int:
+        out.append(_T_INT)
+        _write_svarint(out, value)
+    elif t is str:
+        raw = value.encode()
+        out.append(_T_STR)
+        _write_uvarint(out, len(raw))
+        out += raw
+    elif t is tuple:
+        out.append(_T_TUPLE)
+        _write_uvarint(out, len(value))
+        for item in value:
+            _bin_encode(item, out)
+    elif t is dict:
+        out.append(_T_MAP)
+        _write_uvarint(out, len(value))
+        for k, v in value.items():
+            _bin_encode(k, out)
+            _bin_encode(v, out)
+    elif t is Command:
+        body = _encode_command_body(value)
+        out.append(_T_CMD)
+        _write_uvarint(out, len(body))
+        out += body
+    elif t is bool:
+        out.append(_T_TRUE if value else _T_FALSE)
+    elif value is None:
+        out.append(_T_NONE)
+    elif t is frozenset or t is set:
+        out.append(_T_SET)
+        _write_uvarint(out, len(value))
+        encoded = []
+        for item in value:
+            item_out = bytearray()
+            _bin_encode(item, item_out)
+            encoded.append(bytes(item_out))
+        encoded.sort()  # deterministic frames independent of set iteration
+        for chunk in encoded:
+            out += chunk
+    elif t is float:
+        out.append(_T_FLOAT)
+        out += _F64.pack(value)
+    else:
+        info = _class_info(t)
+        if info is None:
+            raise _Unencodable(f"no binary encoder for {t.__name__}")
+        name_bytes, field_names = info
+        out.append(_T_OBJ)
+        out += name_bytes
+        for name in field_names:
+            _bin_encode(getattr(value, name), out)
+
+
+# Decoded Command bodies, memoised by their exact byte encoding: the
+# same command crosses the wire many times (Accept broadcast, Decide,
+# resends), and equal bytes decode to equal frozen values.
+_CMD_DECODE_CACHE: dict[bytes, Command] = {}
+_CMD_DECODE_CACHE_CAP = 1 << 15
+
+
+def _decode_command_body(body: bytes) -> Command:
+    command = _CMD_DECODE_CACHE.get(body)
+    if command is not None:
+        return command
+    buf = memoryview(body)
+    u, pos = _read_uvarint(buf, 0)
+    cid_a = _unzigzag(u)
+    u, pos = _read_uvarint(buf, pos)
+    cid_b = _unzigzag(u)
+    n, pos = _read_uvarint(buf, pos)
+    ls = []
+    for _ in range(n):
+        size, pos = _read_uvarint(buf, pos)
+        ls.append(bytes(buf[pos : pos + size]).decode())
+        pos += size
+    payload, pos = _read_uvarint(buf, pos)
+    u, pos = _read_uvarint(buf, pos)
+    proposer = _unzigzag(u)
+    noop = bool(buf[pos])
+    command = Command(
+        cid=(cid_a, cid_b),
+        ls=frozenset(ls),
+        payload_bytes=payload,
+        proposer=proposer,
+        noop=noop,
+    )
+    if len(_CMD_DECODE_CACHE) >= _CMD_DECODE_CACHE_CAP:
+        _CMD_DECODE_CACHE.clear()
+    _CMD_DECODE_CACHE[body] = command
+    return command
+
+
+def _bin_decode(buf: memoryview, pos: int) -> tuple[Any, int]:
+    tag = buf[pos]
+    pos += 1
+    if tag == _T_INT:
+        u, pos = _read_uvarint(buf, pos)
+        return _unzigzag(u), pos
+    if tag == _T_STR:
+        size, pos = _read_uvarint(buf, pos)
+        return bytes(buf[pos : pos + size]).decode(), pos + size
+    if tag == _T_TUPLE:
+        n, pos = _read_uvarint(buf, pos)
+        items = []
+        for _ in range(n):
+            item, pos = _bin_decode(buf, pos)
+            items.append(item)
+        return tuple(items), pos
+    if tag == _T_MAP:
+        n, pos = _read_uvarint(buf, pos)
+        out = {}
+        for _ in range(n):
+            key, pos = _bin_decode(buf, pos)
+            value, pos = _bin_decode(buf, pos)
+            out[key] = value
+        return out, pos
+    if tag == _T_CMD:
+        size, pos = _read_uvarint(buf, pos)
+        body = bytes(buf[pos : pos + size])
+        return _decode_command_body(body), pos + size
+    if tag == _T_OBJ:
+        size, pos = _read_uvarint(buf, pos)
+        name = bytes(buf[pos : pos + size]).decode()
+        pos += size
+        cached = _BIN_FIELDS_BY_NAME.get(name)
+        if cached is None:
+            cls = _MESSAGE_CLASSES[name]
+            cached = (cls, tuple(f.name for f in fields(cls)))
+            _BIN_FIELDS_BY_NAME[name] = cached
+        cls, field_names = cached
+        args = []
+        for _ in field_names:
+            value, pos = _bin_decode(buf, pos)
+            args.append(value)
+        return cls(*args), pos
+    if tag == _T_SET:
+        n, pos = _read_uvarint(buf, pos)
+        items = []
+        for _ in range(n):
+            item, pos = _bin_decode(buf, pos)
+            items.append(item)
+        return frozenset(items), pos
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_FLOAT:
+        return _F64.unpack_from(buf, pos)[0], pos + 8
+    raise ValueError(f"bad binary tag {tag} at offset {pos - 1}")
+
+
+def encode_payload_binary(sender: int, message: Message) -> bytes:
+    """The binary frame payload (no length prefix).
+
+    Raises :class:`TypeError` for values outside the vocabulary; use
+    :func:`encode_message` for the auto-fallback behaviour.
+    """
+    out = bytearray()
+    out.append(_BIN_MAGIC)
+    _write_svarint(out, sender)
+    _bin_encode(message, out)
+    return bytes(out)
+
+
+def decode_payload(payload: bytes) -> tuple[int, Message]:
+    """Decode one frame payload, auto-detecting the codec."""
+    if payload[0] == _BIN_MAGIC:
+        buf = memoryview(payload)
+        u, pos = _read_uvarint(buf, 1)
+        message, end = _bin_decode(buf, pos)
+        if end != len(payload):
+            raise ValueError(
+                f"trailing bytes in binary frame: {len(payload) - end}"
+            )
+        return _unzigzag(u), message
+    data = json.loads(payload.decode())
+    return data["s"], _decode_value(data["m"])
+
+
+# ----------------------------------------------------------------------
+# Frame API
+# ----------------------------------------------------------------------
+
+
+def encode_message(sender: int, message: Message) -> bytes:
+    """One length-prefixed frame: 4-byte big-endian size + payload.
+
+    The binary codec is used for every registered dataclass message
+    built from the shared vocabulary; anything else (unknown classes,
+    exotic field values) falls back to JSON, and the class is remembered
+    as JSON-only so the failed walk is not repeated per message.
+    """
+    cls = message.__class__
+    if cls not in _JSON_ONLY:
+        try:
+            payload = encode_payload_binary(sender, message)
+        except (_Unencodable, TypeError):
+            _JSON_ONLY.add(cls)
+        else:
+            return FRAME_HEADER.pack(len(payload)) + payload
+    payload = encode_payload_json(sender, message)
+    return FRAME_HEADER.pack(len(payload)) + payload
 
 
 def decode_message(payload: bytes) -> tuple[int, Message]:
     """Inverse of :func:`encode_message` (without the length prefix)."""
-    data = json.loads(payload.decode())
-    message = _decode_value(data["m"])
+    sender, message = decode_payload(payload)
     if not isinstance(message, Message):
         raise ValueError(f"decoded object is not a Message: {message!r}")
-    return data["s"], message
+    return sender, message
+
+
+def wire_size(message: Message) -> int:
+    """Exact frame size (header included) of ``message`` on the wire.
+
+    Cached on the message object: frozen messages are broadcast to N
+    receivers, so the encoding runs once.  The simulator's network model
+    uses this when configured for real frame sizes.
+    """
+    cached = message.__dict__.get("_wire_size")
+    if cached is None:
+        cached = len(encode_message(0, message))
+        object.__setattr__(message, "_wire_size", cached)
+    return cached
 
 
 FRAME_HEADER = struct.Struct(">I")

@@ -20,24 +20,37 @@ class Event:
 
     Cancellation is implemented by flagging the entry rather than
     removing it from the heap (removal from the middle of a heap is
-    O(n)); the loop skips cancelled entries when it pops them.
+    O(n)); the loop skips cancelled entries when it pops them, and
+    compacts the heap lazily once cancelled entries outnumber live ones
+    (protocols under churn cancel far more timers than they fire).
 
     Heap entries are ``(time, seq, event)`` tuples so ordering is
     decided by C-level float/int comparisons, never by calling into
     Python -- a measurable win at millions of events per run.
     """
 
-    __slots__ = ("time", "seq", "fn", "cancelled")
+    __slots__ = ("time", "seq", "fn", "cancelled", "loop")
 
-    def __init__(self, time: float, seq: int, fn: Callable[[], None]) -> None:
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[[], None],
+        loop: Optional["EventLoop"] = None,
+    ) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
         self.cancelled = False
+        self.loop = loop
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.loop is not None:
+            self.loop._on_cancel()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"
@@ -47,12 +60,19 @@ class Event:
 class EventLoop:
     """Deterministic event loop with a virtual clock."""
 
+    # Below this heap size, compaction is not worth the rebuild.
+    COMPACT_FLOOR = 64
+
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Event]] = []
         self._now = 0.0
         self._seq = 0
         self._stopped = False
         self._processed = 0
+        # Cancelled entries still sitting in the heap.  ``pending()`` is
+        # ``len(heap) - cancelled`` in O(1), and when the dead weight
+        # exceeds half the heap it is compacted away in one pass.
+        self._cancelled_in_heap = 0
 
     @property
     def now(self) -> float:
@@ -80,10 +100,29 @@ class EventLoop:
             raise ValueError(
                 f"cannot schedule in the past: {time!r} < now {self._now!r}"
             )
-        event = Event(time, self._seq, fn)
+        event = Event(time, self._seq, fn, self)
         heapq.heappush(self._heap, (time, self._seq, event))
         self._seq += 1
         return event
+
+    def _on_cancel(self) -> None:
+        """Bookkeeping for one newly cancelled, still-queued event."""
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap * 2 > len(self._heap)
+            and len(self._heap) >= self.COMPACT_FLOOR
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        Pop order is unchanged: the surviving ``(time, seq)`` keys are
+        unique, so any valid heap over them drains identically.
+        """
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
 
     def stop(self) -> None:
         """Make the currently running ``run*`` call return promptly."""
@@ -99,7 +138,11 @@ class EventLoop:
                 return
             _time, _seq, event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
+            # Detach before running: a late cancel() on a fired event
+            # must not count a tombstone that is no longer in the heap.
+            event.loop = None
             self._now = event.time
             event.fn()
             self._processed += 1
@@ -114,7 +157,9 @@ class EventLoop:
                 break
             _time, _seq, event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
+            event.loop = None
             self._now = event.time
             event.fn()
             self._processed += 1
@@ -122,5 +167,6 @@ class EventLoop:
             self._now = deadline
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for _t, _s, e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events still queued.  O(1): the
+        loop tracks how many heap entries are cancelled tombstones."""
+        return len(self._heap) - self._cancelled_in_heap

@@ -40,6 +40,13 @@ class NetworkConfig:
     batch_factor: int = 16
     fifo_links: bool = True
     drop_probability: float = 0.0
+    # How transmission delay sizes a message: ``"estimate"`` uses the
+    # field-walk approximation in :meth:`Message.size_bytes` (the seed
+    # behaviour, kept as the default so recorded runs replay
+    # identically); ``"codec"`` uses the real binary-codec frame size
+    # from :func:`repro.runtime.codec.wire_size` -- smaller, and exactly
+    # what the asyncio runtime puts on a TCP socket.
+    frame_sizes: str = "estimate"
 
     def __post_init__(self) -> None:
         if self.bandwidth <= 0:
@@ -48,6 +55,11 @@ class NetworkConfig:
             raise ValueError("drop_probability must be in [0, 1)")
         if self.batch_factor < 1:
             raise ValueError("batch_factor must be >= 1")
+        if self.frame_sizes not in ("estimate", "codec"):
+            raise ValueError(
+                f"frame_sizes must be 'estimate' or 'codec', "
+                f"got {self.frame_sizes!r}"
+            )
 
 
 class Network:
@@ -121,6 +133,14 @@ class Network:
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
+
+    def size_of(self, message: object) -> int:
+        """Wire size charged for ``message``, per ``config.frame_sizes``."""
+        if self.config.frame_sizes == "codec":
+            from repro.runtime.codec import wire_size
+
+            return wire_size(message)
+        return message.size_bytes()  # type: ignore[attr-defined]
 
     def transmission_delay(self, size: int) -> float:
         """Serialisation delay on the wire for ``size`` payload bytes."""

@@ -69,7 +69,9 @@ class SimEnv(Env):
         if node.crashed:
             return
         self._charge_send(n_messages=1, n_batches=1)
-        node.network.send(self.node_id, dst, message, message.size_bytes())
+        node.network.send(
+            self.node_id, dst, message, node.network.size_of(message)
+        )
 
     def _flush(
         self,
@@ -88,8 +90,9 @@ class SimEnv(Env):
         # Transmit in issue order, not batch order: per-send latency
         # draws and event-heap insertion stay identical to unbatched
         # runs, keeping decision logs reproducible.
+        network = node.network
         for dst, message in queued:
-            node.network.send(self.node_id, dst, message, message.size_bytes())
+            network.send(self.node_id, dst, message, network.size_of(message))
 
     def _charge_send(self, n_messages: int, n_batches: int) -> None:
         node = self._node

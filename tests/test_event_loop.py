@@ -152,3 +152,69 @@ def test_determinism_across_runs():
         return seen
 
     assert trace() == trace()
+
+
+def test_compaction_purges_cancelled_tombstones():
+    """Once cancelled entries outnumber live ones (past the floor), the
+    heap is rebuilt without them; pop order is unchanged."""
+    loop = EventLoop()
+    live = [loop.schedule(1.0 + i, lambda: None) for i in range(40)]
+    dead = [loop.schedule(100.0 + i, lambda: None) for i in range(60)]
+    assert len(loop._heap) == 100
+    for event in dead:
+        event.cancel()
+    # Compaction fired as soon as tombstones crossed half the heap
+    # (51 of 100), so the rebuilt heap is well under the original 100
+    # and pending() stays exact.
+    assert len(loop._heap) < 100
+    assert loop.pending() == 40
+    assert len(loop._heap) - loop._cancelled_in_heap == 40
+    del live
+
+
+def test_no_compaction_below_floor():
+    loop = EventLoop()
+    events = [loop.schedule(1.0 + i, lambda: None) for i in range(10)]
+    for event in events:
+        event.cancel()
+    # Tiny heap: tombstones stay (compaction not worth it), but
+    # pending() still reports zero live events.
+    assert loop.pending() == 0
+    assert len(loop._heap) == 10
+
+
+def test_pending_exact_through_mixed_run():
+    """pending() stays exact across schedule / cancel / pop / compact."""
+    import random
+
+    rng = random.Random(123)
+    loop = EventLoop()
+    alive = {}
+    for i in range(500):
+        if alive and rng.random() < 0.45:
+            key = rng.choice(list(alive))
+            alive.pop(key).cancel()
+        else:
+            handle = loop.schedule(rng.random() * 10, lambda: None)
+            alive[i] = handle
+        assert loop.pending() == len(alive)
+    fired = []
+    loop.run_until(5.0)
+    remaining = {
+        k: h for k, h in alive.items() if h.time > 5.0 and not h.cancelled
+    }
+    assert loop.pending() == len(remaining)
+    del fired
+
+
+def test_cancel_after_fire_does_not_corrupt_count():
+    """Cancelling an event that already ran (and left the heap) must not
+    decrement the tombstone count below reality."""
+    loop = EventLoop()
+    first = loop.schedule(0.1, lambda: None)
+    second = loop.schedule(1.0, lambda: None)
+    loop.run_until(0.5)
+    first.cancel()  # already fired and popped
+    assert loop.pending() == 1
+    second.cancel()
+    assert loop.pending() == 0

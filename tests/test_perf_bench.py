@@ -1,0 +1,110 @@
+"""The perf microbench layer: schema, regression gates, CLI plumbing.
+
+These run micro-scaled configs (fractions of the CI smoke) -- the point
+is that every bench executes, the datapoint schema holds, and the
+regression assertions mean what they say; the real numbers come from
+``repro perf`` runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.perf import (
+    BENCH_SCHEMA,
+    PerfConfig,
+    check_regressions,
+    run_perf,
+    write_datapoint,
+)
+
+MICRO = PerfConfig(
+    sim_events=5_000,
+    codec_messages=120,
+    codec_rounds=5,
+    bench_duration=0.06,
+    bench_warmup=0.12,
+    runtime_commands=45,
+    smoke=True,
+)
+
+
+def test_sim_and_codec_datapoint_schema():
+    datapoint = run_perf(MICRO, only=["sim", "codec"])
+    assert datapoint["schema"] == BENCH_SCHEMA
+    assert datapoint["smoke"] is True
+    sim = datapoint["results"]["sim"]
+    assert sim["events"] == MICRO.sim_events
+    assert sim["events_per_sec"] > 0
+    codec = datapoint["results"]["codec"]
+    for key in (
+        "json_roundtrips_per_sec",
+        "binary_roundtrips_per_sec",
+        "speedup",
+        "json_bytes_per_msg",
+        "binary_bytes_per_msg",
+        "size_ratio",
+    ):
+        assert codec[key] > 0
+    # The binary frames must actually be smaller; rate speedup is
+    # asserted by the CI smoke, not this micro run.
+    assert codec["size_ratio"] > 1.0
+
+
+def test_m2_batching_micro_still_wins():
+    datapoint = run_perf(MICRO, only=["m2_batching"])
+    batching = datapoint["results"]["m2_batching"]
+    assert batching["batched"]["commands_per_sec"] > 0
+    assert batching["unbatched"]["commands_per_sec"] > 0
+    assert batching["speedup"] > 1.0
+    assert batching["message_reduction"] > 1.0
+    assert check_regressions(datapoint) == []
+
+
+def test_check_regressions_trips_on_slow_batching():
+    datapoint = {
+        "results": {
+            "m2_batching": {"speedup": 0.97},
+            "codec": {"speedup": 2.0},
+        }
+    }
+    problems = check_regressions(datapoint)
+    assert len(problems) == 1
+    assert "batched" in problems[0]
+
+
+def test_check_regressions_trips_on_slow_codec():
+    datapoint = {"results": {"codec": {"speedup": 0.5}}}
+    assert len(check_regressions(datapoint)) == 1
+
+
+def test_unknown_bench_rejected():
+    with pytest.raises(ValueError, match="unknown bench"):
+        run_perf(MICRO, only=["warp_drive"])
+
+
+def test_write_datapoint_roundtrips(tmp_path):
+    datapoint = run_perf(MICRO, only=["sim"])
+    path = write_datapoint(datapoint, str(tmp_path / "BENCH_test.json"))
+    with open(path) as fh:
+        assert json.load(fh) == datapoint
+
+
+def test_cli_perf_smoke(tmp_path, capsys, monkeypatch):
+    from repro.cli import main
+
+    # The CLI's --smoke is CI-sized; shrink further for the test suite.
+    import repro.bench.perf as perf_mod
+
+    monkeypatch.setattr(
+        PerfConfig, "scaled_for_smoke", lambda self: MICRO, raising=True
+    )
+    out = tmp_path / "BENCH_cli.json"
+    code = main(["perf", "sim", "codec", "--smoke", "--out", str(out)])
+    assert code == 0
+    assert out.exists()
+    stdout = capsys.readouterr().out
+    assert "sim events/sec" in stdout
+    assert perf_mod.BENCH_SCHEMA in out.read_text()
