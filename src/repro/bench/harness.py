@@ -20,11 +20,13 @@ from repro.consensus.genpaxos import GenPaxos, GenPaxosConfig
 from repro.consensus.multipaxos import MultiPaxos, MultiPaxosConfig
 from repro.core.protocol import M2Paxos, M2PaxosConfig
 from repro.metrics.collector import MetricsCollector, RunResult
-from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.cluster import Cluster
 from repro.sim.cpu import CpuConfig
 from repro.sim.latency import GaussianLatency
 from repro.sim.network import NetworkConfig
 from repro.sim.rng import RngRegistry
+from repro.spec import ClusterSpec
+from repro.storage.base import StorageConfig
 from repro.workloads.client import ClientConfig, OpenLoopClients
 from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
 from repro.workloads.tpcc import TpccConfig, TpccWorkload
@@ -104,6 +106,8 @@ class PointSpec:
     batch_wait: float = 0.0
     # "estimate" (seed default) or "codec" (real binary frame sizes).
     frame_sizes: str = "estimate"
+    # Durable storage; None keeps today's in-memory-only behaviour.
+    storage: Optional[StorageConfig] = None
 
     def scaled_for_fast_mode(self) -> "PointSpec":
         """Cheaper variant used when REPRO_BENCH_FAST is set."""
@@ -149,13 +153,19 @@ def run_point(
         def home_hint(name: str, _n: int = n_nodes) -> int:
             return int(name[1:].split(".", 1)[0]) % _n
 
+    cluster_spec = ClusterSpec(
+        protocol=spec.protocol,
+        n_nodes=spec.n_nodes,
+        seed=spec.seed,
+        network=network,
+        cpu=CpuConfig(cores=spec.cores),
+        storage=spec.storage,
+    )
     cluster = Cluster(
-        ClusterConfig(
-            n_nodes=spec.n_nodes,
-            seed=spec.seed,
-            network=network,
-            cpu=CpuConfig(cores=spec.cores),
-        ),
+        cluster_spec.sim_cluster_config(),
+        # The bench-tuned factory, not cluster_spec.protocol_factory():
+        # it layers home hints, fast-path batching, and cost overrides
+        # on top of the spec's protocol choice.
         protocol_factory(
             spec.protocol,
             home_hint=home_hint,
@@ -190,6 +200,7 @@ def run_point(
         dict(node.protocol.stats) for node in cluster.nodes
     ]
     result.extra["obs"] = collector.obs
+    cluster.close_storage()
     return result
 
 

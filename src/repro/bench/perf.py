@@ -30,9 +30,11 @@ protocol-layer change.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import time
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 
 from repro.consensus.base import ProtocolCosts
 from repro.consensus.commands import Command
@@ -62,6 +64,7 @@ class PerfConfig:
     bench_duration: float = 0.4
     bench_warmup: float = 0.4
     runtime_commands: int = 300
+    storage_records: int = 2048
     smoke: bool = False
 
     def scaled_for_smoke(self) -> "PerfConfig":
@@ -73,6 +76,7 @@ class PerfConfig:
             bench_duration=0.2,
             bench_warmup=0.25,
             runtime_commands=120,
+            storage_records=512,
             smoke=True,
         )
 
@@ -301,6 +305,64 @@ def bench_runtime_tcp(config: PerfConfig) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Layer 4: durable storage (fsync batching)
+# ----------------------------------------------------------------------
+
+
+def bench_storage_fsync(config: PerfConfig) -> dict:
+    """Accept-path append throughput on real files: one fsync per record
+    vs one group-commit fsync per ~32 records.
+
+    This is the mechanism behind the ``fsync_wait`` knob: a synchronous
+    store pays an fsync on every commit, the group-commit store batches
+    an event window's records under a single fsync.  The speedup floor
+    asserted by CI is deliberately far below what any real disk shows
+    (an fsync costs orders of magnitude more than framing ~100 bytes).
+    """
+    import shutil
+    import tempfile
+
+    from repro.storage.base import StorageConfig
+    from repro.storage.disk import DiskStorage
+
+    n = config.storage_records
+    group = 32
+    payload = b"x" * 96  # roughly one framed Accept record
+    tmpdir = tempfile.mkdtemp(prefix="perf-storage-")
+    noop = lambda: None  # noqa: E731 - release hook; the bench has no outbox
+
+    def run(batch: int) -> float:
+        store = DiskStorage(
+            StorageConfig(kind="disk", dir=tmpdir), os.path.join(tmpdir, f"b{batch}")
+        )
+        try:
+            start = time.perf_counter()
+            done = 0
+            while done < n:
+                take = min(batch, n - done)
+                for _ in range(take):
+                    store.append(1, payload)
+                store.commit(noop)
+                done += take
+            return time.perf_counter() - start
+        finally:
+            store.close()
+
+    try:
+        per_record = run(1)
+        batched = run(group)
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    return {
+        "records": n,
+        "group_size": group,
+        "per_record_fsync_records_per_sec": n / per_record,
+        "batched_fsync_records_per_sec": n / batched,
+        "speedup": per_record / batched,
+    }
+
+
+# ----------------------------------------------------------------------
 # Orchestration
 # ----------------------------------------------------------------------
 
@@ -309,6 +371,7 @@ BENCHES = {
     "codec": bench_codec,
     "m2_batching": bench_m2_batching,
     "runtime_tcp": bench_runtime_tcp,
+    "storage_fsync": bench_storage_fsync,
 }
 
 
@@ -326,8 +389,16 @@ def run_perf(config: PerfConfig, only: list[str] | None = None) -> dict:
         "stamp": time.strftime("%Y%m%d-%H%M%S"),
         "smoke": config.smoke,
         "seed": config.seed,
+        "config_hash": config_hash(config),
         "results": results,
     }
+
+
+def config_hash(config: PerfConfig) -> str:
+    """Stable digest of every scale knob -- two datapoints with the same
+    hash, seed, and bench set measured the same thing."""
+    blob = json.dumps(asdict(config), sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
 
 
 def check_regressions(datapoint: dict) -> list[str]:
@@ -348,13 +419,47 @@ def check_regressions(datapoint: dict) -> list[str]:
             f"binary codec is not faster than JSON "
             f"(speedup {codec['speedup']:.3f})"
         )
+    storage = results.get("storage_fsync")
+    if storage is not None and storage["speedup"] < 3.0:
+        problems.append(
+            f"fsync-batched appends are not >= 3x per-record fsync "
+            f"(speedup {storage['speedup']:.3f})"
+        )
     return problems
 
 
+def _datapoint_key(datapoint: dict) -> tuple:
+    """Identity of one measurement: config shape, seed, and bench set.
+    Re-running the same configuration replaces the old entry instead of
+    accumulating duplicates."""
+    return (
+        datapoint.get("config_hash"),
+        datapoint.get("seed"),
+        tuple(sorted(datapoint.get("results", {}))),
+    )
+
+
 def write_datapoint(datapoint: dict, path: str | None = None) -> str:
+    """Write ``datapoint`` to ``path`` (default ``BENCH_<stamp>.json``).
+
+    A fresh path gets the bare datapoint dict.  Writing to an existing
+    file (the accumulated ``BENCH_full.json`` pattern) merges: the file
+    becomes a list of datapoints, deduplicated on (config hash, seed,
+    bench set) so repeated runs of one configuration keep only the
+    latest measurement instead of appending duplicates.
+    """
     if path is None:
         path = f"BENCH_{datapoint['stamp']}.json"
+    payload: dict | list = datapoint
+    if os.path.exists(path):
+        with open(path) as fh:
+            existing = json.load(fh)
+        history = existing if isinstance(existing, list) else [existing]
+        key = _datapoint_key(datapoint)
+        history = [d for d in history if _datapoint_key(d) != key]
+        history.append(datapoint)
+        payload = history
     with open(path, "w") as fh:
-        json.dump(datapoint, fh, indent=2, sort_keys=True)
+        json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
     return path

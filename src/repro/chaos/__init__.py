@@ -25,7 +25,7 @@ from repro.chaos.plan import (
     PartitionWindow,
 )
 from repro.chaos.runner import ChaosResult, Scenario, run_scenario
-from repro.chaos.scenarios import SCENARIOS, SMOKE, by_name
+from repro.chaos.scenarios import DURABLE_SMOKE, SCENARIOS, SMOKE, by_name
 
 __all__ = [
     "NO_FAULTS",
@@ -43,5 +43,6 @@ __all__ = [
     "run_scenario",
     "SCENARIOS",
     "SMOKE",
+    "DURABLE_SMOKE",
     "by_name",
 ]

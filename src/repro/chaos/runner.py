@@ -26,16 +26,20 @@ from __future__ import annotations
 
 import hashlib
 import random
-from dataclasses import dataclass
+import shutil
+import tempfile
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.chaos.checker import SafetyReport, check_run
 from repro.chaos.injector import WireFaults
 from repro.chaos.plan import FaultPlan
 from repro.consensus.commands import Command
-from repro.core.protocol import M2Paxos, M2PaxosConfig, SafetyViolation
+from repro.core.protocol import M2PaxosConfig, SafetyViolation
 from repro.obs.collect import ObsCollector
-from repro.sim.cluster import Cluster, ClusterConfig, ConsistencyViolation
+from repro.sim.cluster import Cluster, ConsistencyViolation
+from repro.spec import ClusterSpec
+from repro.storage.base import StorageConfig
 
 
 @dataclass(frozen=True)
@@ -52,6 +56,10 @@ class Scenario:
     locality: float = 0.7     # P(own home object) vs a random one
     multi: float = 0.1        # P(two-object command)
     settle: float = 4.0       # extra run time past the last fault
+    # Durable storage for every node; None keeps the legacy in-object
+    # "durable log" shortcut on restart.  ``kind="disk"`` with no dir
+    # gets a per-run tmpdir from the runner.
+    storage: Optional[StorageConfig] = None
     description: str = ""
 
 
@@ -121,24 +129,74 @@ def _fingerprint(logs: dict[int, list[list[Command]]]) -> str:
 
 
 def run_scenario(
-    scenario: Scenario, config: Optional[M2PaxosConfig] = None
+    scenario: Scenario,
+    config: Optional[M2PaxosConfig] = None,
+    storage: Optional[StorageConfig] = None,
 ) -> ChaosResult:
     """Execute ``scenario`` once and check it; never raises on a safety
     failure -- violations land in the returned report.  ``config``
     overrides the chaos-tuned protocol config (the batching tests rerun
-    the suite with ``max_batch > 1``)."""
+    the suite with ``max_batch > 1``); ``storage`` overrides the
+    scenario's storage shape (the CLI reruns the durable suite on real
+    disk).  A ``kind="disk"`` config gets a fresh per-run directory
+    (under its ``dir`` when set, else the system tmpdir), removed when
+    the run finishes."""
     plan = scenario.plan
     protocol_config = config if config is not None else _CHAOS_M2
-    cluster = Cluster(
-        ClusterConfig(n_nodes=scenario.n_nodes, seed=scenario.seed),
-        lambda node_id, n_nodes: M2Paxos(config=protocol_config),
+    storage_config = storage if storage is not None else scenario.storage
+    tmpdir: Optional[str] = None
+    if storage_config is not None and storage_config.kind == "disk":
+        # Always a fresh per-run directory (under ``dir`` when given,
+        # else the system tmpdir): reusing one directory across runs
+        # would make recovery replay a *previous* run's log.
+        tmpdir = tempfile.mkdtemp(
+            prefix=f"chaos-{scenario.name}-", dir=storage_config.dir
+        )
+        storage_config = replace(storage_config, dir=tmpdir)
+    spec = ClusterSpec(
+        protocol="m2paxos",
+        n_nodes=scenario.n_nodes,
+        seed=scenario.seed,
+        m2=protocol_config,
+        storage=storage_config,
     )
+    cluster = Cluster.from_spec(spec)
+    try:
+        return _run_scenario(scenario, cluster)
+    finally:
+        cluster.close_storage()
+        if tmpdir is not None:
+            shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+def _run_scenario(scenario: Scenario, cluster: Cluster) -> ChaosResult:
+    plan = scenario.plan
     faults: Optional[WireFaults] = None
     if plan.has_wire_faults:
         faults = WireFaults(plan, scenario.seed)
         cluster.network.injector = faults
     obs = ObsCollector.for_cluster(cluster, record_spans=True)
+    extra_violations: list[str] = []
     cluster.start()
+
+    def _restart(node: int, mode: str) -> None:
+        # Durable-prefix audit: a storage-backed durable restart replays
+        # the store synchronously, so right after `restart` the new
+        # incarnation's delivery log is exactly what recovery rebuilt.
+        # It must be byte-identical to a prefix of the pre-crash log
+        # (the whole log under synchronous fsync; possibly shorter when
+        # a group-commit window was open at the crash).
+        durable_store = mode == "durable" and cluster.nodes[node].env.storage.durable
+        pre = list(cluster.nodes[node].delivered) if durable_store else None
+        cluster.restart(node, mode)
+        if durable_store:
+            recovered = list(cluster.nodes[node].delivered)
+            if recovered != pre[: len(recovered)]:
+                extra_violations.append(
+                    f"node {node}: recovered delivery log is not a prefix "
+                    f"of its pre-crash log ({len(recovered)} recovered vs "
+                    f"{len(pre)} pre-crash)"
+                )
 
     for crash in plan.crashes:
         cluster.loop.schedule_at(
@@ -147,9 +205,7 @@ def run_scenario(
         if crash.restart_at is not None:
             cluster.loop.schedule_at(
                 crash.restart_at,
-                lambda node=crash.node, mode=crash.mode: cluster.restart(
-                    node, mode
-                ),
+                lambda node=crash.node, mode=crash.mode: _restart(node, mode),
             )
 
     schedule = _workload(scenario)
@@ -168,7 +224,6 @@ def run_scenario(
         )
 
     horizon = max(plan.end_of_faults(), schedule[-1][0]) + scenario.settle
-    extra_violations: list[str] = []
     try:
         cluster.run_until(horizon)
     except (SafetyViolation, ConsistencyViolation) as exc:
@@ -193,15 +248,26 @@ def run_scenario(
         node.node_id: node.delivery_history + [node.delivered]
         for node in cluster.nodes
     }
-    live = set(range(scenario.n_nodes)) - set(plan.down_forever())
+    # Liveness sets are computed from the cluster, not the plan alone: a
+    # node can also fail-stop on its own (disk full), in which case it
+    # is dead without appearing in ``plan.crashes``.
+    self_crashed = {
+        node.node_id
+        for node in cluster.nodes
+        if node.crashed and node.node_id not in plan.ever_crashed()
+    }
+    live = (
+        set(range(scenario.n_nodes))
+        - set(plan.down_forever())
+        - self_crashed
+    )
     amnesiacs = {
         c.node
         for c in plan.crashes
         if c.mode == "amnesia" and c.restart_at is not None
     }
-    must_deliver = [
-        c.cid for c in proposed if c.proposer not in plan.ever_crashed()
-    ]
+    ever_crashed = set(plan.ever_crashed()) | self_crashed
+    must_deliver = [c.cid for c in proposed if c.proposer not in ever_crashed]
     report = check_run(
         logs, live, must_deliver=must_deliver, amnesia_nodes=amnesiacs
     )

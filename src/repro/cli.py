@@ -23,6 +23,27 @@ from repro.workloads.synthetic import SyntheticConfig
 from repro.workloads.tpcc import TpccConfig
 
 
+def _storage_from_args(args):
+    """The :class:`~repro.storage.base.StorageConfig` the flags name, or
+    None for ``--storage none`` (the default: no durability)."""
+    if getattr(args, "storage", "none") == "none":
+        return None
+    from repro.storage.base import StorageConfig
+
+    storage_dir = args.storage_dir
+    if args.storage == "disk" and storage_dir is None:
+        import tempfile
+
+        storage_dir = tempfile.mkdtemp(prefix="repro-storage-")
+        print(f"storage: disk logs under {storage_dir}")
+    return StorageConfig(
+        kind=args.storage,
+        dir=storage_dir,
+        fsync_wait=args.fsync_wait,
+        snapshot_every=args.snapshot_every,
+    )
+
+
 def _spec_from_args(args, protocol: str) -> PointSpec:
     spec = PointSpec(
         protocol=protocol,
@@ -38,6 +59,7 @@ def _spec_from_args(args, protocol: str) -> PointSpec:
         warmup=args.warmup,
         seed=args.seed,
         cores=args.cores,
+        storage=_storage_from_args(args),
     )
     if args.saturate:
         spec = saturated_spec(spec)
@@ -58,6 +80,27 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cores", type=int, default=16)
     parser.add_argument("--saturate", action="store_true",
                         help="drive to saturation (max-throughput methodology)")
+    _add_storage_args(parser)
+
+
+def _add_storage_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--storage", choices=("none", "mem", "disk"), default="none",
+        help="durable per-node log: none (default), deterministic "
+             "in-memory segments, or real files + fsync",
+    )
+    parser.add_argument(
+        "--storage-dir", default=None,
+        help="root directory for --storage disk (default: a fresh tmpdir)",
+    )
+    parser.add_argument(
+        "--fsync-wait", type=float, default=0.0,
+        help="group-commit window in seconds (0 = fsync per event)",
+    )
+    parser.add_argument(
+        "--snapshot-every", type=int, default=0,
+        help="snapshot + truncate the log every N records (0 = never)",
+    )
 
 
 _RUN_COLUMNS = [
@@ -169,7 +212,10 @@ def cmd_chaos(args) -> int:
     Every scenario runs twice; the delivery-history fingerprints must
     match (determinism) and both runs must pass the checker.
     """
-    from repro.chaos import SCENARIOS, SMOKE, by_name, run_scenario
+    from dataclasses import replace
+
+    from repro.chaos import DURABLE_SMOKE, SCENARIOS, SMOKE, by_name, run_scenario
+    from repro.storage.base import StorageConfig
 
     if args.list:
         for scenario in SCENARIOS:
@@ -177,16 +223,28 @@ def cmd_chaos(args) -> int:
         return 0
     if args.names:
         scenarios = [by_name(name) for name in args.names]
+    elif args.durable_smoke:
+        scenarios = [by_name(name) for name in DURABLE_SMOKE]
     elif args.smoke:
         scenarios = [by_name(name) for name in SMOKE]
     else:
         scenarios = list(SCENARIOS)
 
+    def storage_override(scenario):
+        """``--storage`` reruns a scenario on a different substrate,
+        keeping its snapshot/fsync/capacity knobs (disk dirs are
+        per-run tmpdirs unless --storage-dir names one)."""
+        if args.storage is None:
+            return None
+        base = scenario.storage or StorageConfig(kind="mem")
+        return replace(base, kind=args.storage, dir=args.storage_dir)
+
     rows = []
     failed = 0
     for scenario in scenarios:
-        first = run_scenario(scenario)
-        second = run_scenario(scenario)
+        storage = storage_override(scenario)
+        first = run_scenario(scenario, storage=storage)
+        second = run_scenario(scenario, storage=storage)
         deterministic = first.fingerprint == second.fingerprint
         ok = first.ok and second.ok and deterministic
         failed += 0 if ok else 1
@@ -259,6 +317,11 @@ def cmd_perf(args) -> int:
     if "runtime_tcp" in results:
         rows.append({"bench": "runtime TCP cmds/sec",
                      "value": results["runtime_tcp"]["commands_per_sec"]})
+    if "storage_fsync" in results:
+        rows.append({"bench": "fsync-batched records/sec",
+                     "value": results["storage_fsync"]["batched_fsync_records_per_sec"]})
+        rows.append({"bench": "fsync batching speedup",
+                     "value": results["storage_fsync"]["speedup"]})
     print_table(f"perf ({', '.join(results) or 'none'})", rows, ["bench", "value"])
     print(f"datapoint: {path}")
 
@@ -329,7 +392,21 @@ def main(argv=None) -> int:
         "--smoke", action="store_true", help="quick CI subset"
     )
     chaos_parser.add_argument(
+        "--durable-smoke", action="store_true",
+        help="durable-storage CI subset (run with --storage disk for "
+             "real files + fsync)",
+    )
+    chaos_parser.add_argument(
         "--list", action="store_true", help="list scenarios and exit"
+    )
+    chaos_parser.add_argument(
+        "--storage", choices=("none", "mem", "disk"), default=None,
+        help="override each scenario's storage substrate "
+             "(default: the scenario's own)",
+    )
+    chaos_parser.add_argument(
+        "--storage-dir", default=None,
+        help="root directory for --storage disk (default: per-run tmpdir)",
     )
     chaos_parser.set_defaults(fn=cmd_chaos)
 
@@ -338,7 +415,8 @@ def main(argv=None) -> int:
     )
     perf_parser.add_argument(
         "benches", nargs="*",
-        help="subset to run: sim codec m2_batching runtime_tcp (default: all)",
+        help="subset to run: sim codec m2_batching runtime_tcp "
+             "storage_fsync (default: all)",
     )
     perf_parser.add_argument("--seed", type=int, default=1)
     perf_parser.add_argument(

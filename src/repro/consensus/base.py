@@ -148,6 +148,125 @@ class TimerHandle(ABC):
     def cancel(self) -> None: ...
 
 
+# ----------------------------------------------------------------------
+# Storage interface
+# ----------------------------------------------------------------------
+
+
+class StorageFull(RuntimeError):
+    """The node's durable store cannot accept more data.
+
+    Raised by :meth:`Storage.append` (modelled capacity) or by a commit
+    flush (real ``ENOSPC`` / write failure).  The hosting node treats it
+    as fail-stop: the event's outbox is discarded -- a node that cannot
+    persist must not acknowledge -- and the node crashes."""
+
+
+@dataclass
+class Recovered:
+    """What a storage scan found: the newest valid snapshot payload (or
+    ``None``) plus the log records appended after it, in log order."""
+
+    snapshot: Optional[bytes]
+    records: "list[tuple[int, bytes]]"
+
+    @property
+    def empty(self) -> bool:
+        return self.snapshot is None and not self.records
+
+
+class Storage(ABC):
+    """Durable-log contract between an :class:`Env` and a node's disk.
+
+    The env calls :meth:`append` while a protocol handler runs (records
+    buffer in memory) and :meth:`commit` when the event ends, passing a
+    ``release`` closure holding the event's buffered sends and deferred
+    deliveries.  The storage decides *when* the closure runs: after a
+    synchronous flush+fsync (``fsync_wait == 0``), or later from a
+    group-commit timer that fsyncs many events' records with one
+    syscall.  Because every effect of the event is inside ``release``,
+    persist-before-ack falls out of the env's outbox discipline -- no
+    protocol code schedules I/O.
+
+    Implementations: :class:`NullStorage` (no durability, today's
+    default), :class:`repro.storage.MemStorage` (deterministic, for
+    sim/chaos byte-identical checks), :class:`repro.storage.DiskStorage`
+    (real files + fsync)."""
+
+    durable: bool = True
+    """Whether a restart can rebuild protocol state via :meth:`recover`."""
+
+    @property
+    def defers(self) -> bool:
+        """True when commits may run their release later (group-commit)."""
+        return False
+
+    @property
+    def dirty(self) -> bool:
+        """True when records are buffered but not yet persisted."""
+        return False
+
+    @abstractmethod
+    def append(self, rtype: int, payload: bytes) -> None:
+        """Buffer one log record for the current event.  May raise
+        :class:`StorageFull`."""
+
+    @abstractmethod
+    def commit(self, release: Callable[[], None]) -> None:
+        """Persist buffered records, then run ``release`` (immediately,
+        or from a group-commit timer).  ``release`` must run exactly
+        once unless the node crashes first."""
+
+    @abstractmethod
+    def recover(self) -> Recovered:
+        """Scan the store: newest valid snapshot + log tail after it."""
+
+    @abstractmethod
+    def snapshot(self, payload: bytes) -> None:
+        """Persist ``payload`` as a snapshot covering every record
+        flushed so far, then truncate the covered log."""
+
+    def attach(self, env: "Env", snapshot_source: Callable[[], Optional[bytes]]) -> None:
+        """Wire the hosting env (timer scheduling, observability) and a
+        callable yielding the bound protocol's snapshot payload."""
+
+    def discard_pending(self) -> None:
+        """Drop buffered records and queued releases (crash semantics:
+        whatever was not fsynced is gone)."""
+
+    def wipe(self) -> None:
+        """Erase the store entirely (amnesia restart)."""
+
+    def close(self) -> None:
+        """Release OS resources (file handles)."""
+
+
+class NullStorage(Storage):
+    """No durability: appends vanish, commits release immediately.
+
+    This is the seed behaviour -- with it bound (the default), event
+    ordering and decision logs are byte-identical to a build without a
+    storage layer."""
+
+    durable = False
+
+    def append(self, rtype: int, payload: bytes) -> None:
+        pass
+
+    def commit(self, release: Callable[[], None]) -> None:
+        release()
+
+    def recover(self) -> Recovered:
+        return Recovered(None, [])
+
+    def snapshot(self, payload: bytes) -> None:
+        pass
+
+
+NULL_STORAGE = NullStorage()
+"""Shared default: stateless, so one instance serves every env."""
+
+
 FlushHook = Callable[[int, "list[tuple[int, Message]]", "dict[int, list[Message]]"], None]
 
 
@@ -202,6 +321,9 @@ class Env(ABC):
     node_id: int
     n_nodes: int
 
+    storage: Storage = NULL_STORAGE
+    """The node's durable store; hosting nodes replace this at boot."""
+
     # Lazily materialised per instance: Env implementations do not all
     # call ``super().__init__()``, so plain class attributes provide the
     # defaults until the first event begins.
@@ -209,6 +331,7 @@ class Env(ABC):
     _outbox: Optional[list[tuple[int, Message]]] = None
     _flush_hooks: Optional[list[FlushHook]] = None
     _observers: Optional[list[EnvObserver]] = None
+    _pending_deliveries: Optional[list[Command]] = None
 
     @property
     def nodes(self) -> range:
@@ -244,12 +367,42 @@ class Env(ABC):
             self._outbox = []
         self._event_depth += 1
 
-    def end_event(self) -> None:
-        """Leave a protocol event; flush the outbox at depth zero."""
+    def end_event(self, discard: bool = False) -> None:
+        """Leave a protocol event; commit + flush the outbox at depth
+        zero.
+
+        The event's effects (buffered sends, deliveries deferred by a
+        group-committing storage) are wrapped in a ``release`` closure
+        handed to :meth:`Storage.commit`, which runs it once the event's
+        log records are durable -- immediately for :class:`NullStorage`
+        and synchronous stores, later from a group-commit timer
+        otherwise.  This is persist-before-ack for every protocol, with
+        no storage code in any handler.
+
+        ``discard=True`` (the event failed with :class:`StorageFull`)
+        drops the outbox and pending records instead: a node that could
+        not persist must not acknowledge."""
         self._event_depth -= 1
-        if self._event_depth > 0 or not self._outbox:
+        if self._event_depth > 0:
             return
-        queued, self._outbox = self._outbox, []
+        # Detach unconditionally: the release closure must own its
+        # delivery list, never alias the live buffer a later event
+        # appends to.
+        deliveries = self._pending_deliveries
+        self._pending_deliveries = None
+        storage = self.storage
+        if discard:
+            if self._outbox:
+                self._outbox.clear()
+            storage.discard_pending()
+            return
+        queued = self._outbox
+        if not queued and not deliveries and not storage.dirty:
+            return
+        if queued:
+            self._outbox = []
+        else:
+            queued = []
         batches: dict[int, list[Message]] = {}
         for dst, message in queued:
             batch = batches.get(dst)
@@ -257,13 +410,22 @@ class Env(ABC):
                 batches[dst] = [message]
             else:
                 batch.append(message)
-        if self._flush_hooks:
-            for hook in self._flush_hooks:
-                hook(self.node_id, queued, batches)
-        if self._observers:
-            for observer in self._observers:
-                observer.on_flush(self.node_id, queued, batches)
-        self._flush(queued, batches)
+
+        def release() -> None:
+            if deliveries:
+                for command in deliveries:
+                    self._do_deliver(command)
+            if not queued:
+                return
+            if self._flush_hooks:
+                for hook in self._flush_hooks:
+                    hook(self.node_id, queued, batches)
+            if self._observers:
+                for observer in self._observers:
+                    observer.on_flush(self.node_id, queued, batches)
+            self._flush(queued, batches)
+
+        storage.commit(release)
 
     def add_flush_hook(self, hook: FlushHook) -> None:
         """Observe every flush: ``hook(node_id, queued, batches)`` with
@@ -336,8 +498,20 @@ class Env(ABC):
     def deliver(self, command: Command) -> None:
         """Hand a decided command to the application (C-DECIDE append).
 
-        Concrete so every substrate shares the observer notification;
-        the substrate-specific hand-off lives in :meth:`_deliver`."""
+        Under a group-committing storage the delivery is deferred with
+        the event's sends and runs from the commit's release -- the
+        application must not observe a decision that a crash could still
+        erase.  Otherwise (and outside events) it is immediate."""
+        if self._event_depth > 0 and self.storage.defers:
+            if self._pending_deliveries is None:
+                self._pending_deliveries = []
+            self._pending_deliveries.append(command)
+            return
+        self._do_deliver(command)
+
+    def _do_deliver(self, command: Command) -> None:
+        """Observer fan-out + substrate hand-off (shared by both the
+        immediate and the deferred-release delivery paths)."""
         if self._observers:
             for observer in self._observers:
                 observer.on_deliver(self.node_id, command)
@@ -492,3 +666,36 @@ class Protocol(Dispatcher, ABC):
         gone.  Protocols clear their volatile coordination state here;
         an amnesia restart instead replaces the protocol object
         entirely, so this hook is never called for it."""
+
+    # ------------------------------------------------------------------
+    # Durable-state hooks (storage-backed recovery)
+    # ------------------------------------------------------------------
+
+    def snapshot_payload(self) -> Optional[bytes]:
+        """Serialise the protocol's durable state for a snapshot.
+
+        Called by the storage layer at a commit boundary (never mid-
+        handler, so the state is consistent).  ``None`` (the default)
+        means the protocol does not support snapshots; the storage then
+        keeps its full log."""
+        return None
+
+    def restore_snapshot(self, payload: bytes) -> None:
+        """Rebuild durable state from a :meth:`snapshot_payload` blob.
+
+        Called on a fresh, bound, not-yet-started instance during
+        storage recovery, before the log tail is replayed."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support storage recovery"
+        )
+
+    def apply_log_record(self, rtype: int, payload: bytes) -> None:
+        """Re-apply one durable log record during recovery replay.
+
+        Records arrive in log order; applying them after
+        :meth:`restore_snapshot` must reproduce the pre-crash durable
+        state -- including re-delivering decided commands through the
+        env, so the application log is rebuilt byte-identically."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support storage recovery"
+        )

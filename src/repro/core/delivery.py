@@ -106,6 +106,15 @@ class DeliveryEngine:
         self._appended_cids.add(command.cid)
         self._deliver(command)
 
+    def restore_append(self, command: Command) -> None:
+        """Re-seat a command appended before a crash (snapshot replay).
+
+        The restored object states already carry the final ``appended``
+        pointers, so only the C-struct and the duplicate filter are
+        rebuilt; the caller re-delivers to the application itself."""
+        self.cstruct.append(command)
+        self._appended_cids.add(command.cid)
+
     def undelivered_gap(self, l: str) -> Optional[int]:
         """Position blocking delivery for ``l``, if any.
 

@@ -45,6 +45,7 @@ from repro.core.m2.config import (
     _PendingAccept,
     _PendingPrepare,
 )
+from repro.core.m2.durability import DurabilityMixin
 from repro.core.m2.ownership import OwnershipMixin
 from repro.core.m2.proposer import ProposerMixin
 from repro.core.m2.recovery import RecoveryMixin
@@ -55,13 +56,21 @@ __all__ = [
     "M2PaxosConfig",
     "SafetyViolation",
     "AcceptorMixin",
+    "DurabilityMixin",
     "OwnershipMixin",
     "ProposerMixin",
     "RecoveryMixin",
 ]
 
 
-class M2Paxos(ProposerMixin, AcceptorMixin, OwnershipMixin, RecoveryMixin, Protocol):
+class M2Paxos(
+    ProposerMixin,
+    AcceptorMixin,
+    OwnershipMixin,
+    RecoveryMixin,
+    DurabilityMixin,
+    Protocol,
+):
     """One node's M2Paxos instance.  Bind to an Env, then feed events."""
 
     # M2Paxos has no dependency computation and no shared metadata on

@@ -67,24 +67,8 @@ class AcceptorMixin:
                     i for i, c in msg.to_decide.items() if c.cid == cmd.cid
                 )
 
-        for inst, epoch in msg.eps.items():
-            l, position = inst
-            inst_state = self.state.inst(inst)
-            inst_state.rnd = epoch
-            inst_state.rdec = epoch
-            inst_state.vdec = msg.to_decide[inst]
-            inst_state.vdec_ins = ins_of[msg.to_decide[inst].cid]
-            obj = self.state.obj(l)
-            if not msg.scoped:
-                # Only leadership rounds transfer ownership.
-                if obj.owner is not None and obj.owner != sender:
-                    self.note("owner_handoff", obj=l, old=obj.owner, new=sender)
-                obj.owner = sender
-                obj.owner_epoch = epoch
-                obj.promised = max(obj.promised, epoch)
-                obj.epoch = max(obj.epoch, epoch)
-            obj.observe_position(position)
-            self.state.gap_candidates.add(l)
+        self._absorb_accept(sender, msg.scoped, msg.eps, msg.to_decide, ins_of)
+        self._log_accept(sender, msg, ins_of)
 
         ack = AckAccept(
             req=msg.req,
@@ -101,6 +85,38 @@ class AcceptorMixin:
             # Our own accept landed: ownership is now recorded locally,
             # so deferred commands can take the fast path.
             self._drain_deferred()
+
+    def _absorb_accept(
+        self,
+        sender: int,
+        scoped: bool,
+        eps: dict,
+        to_decide: dict,
+        ins_of: dict,
+    ) -> None:
+        """Apply one (non-refused) Accept's per-instance mutations.
+
+        Shared by the live handler and storage-recovery replay: the
+        replayed log record carries exactly these arguments, so replay
+        reproduces the handler's state transition verbatim."""
+        for inst, epoch in eps.items():
+            l, position = inst
+            inst_state = self.state.inst(inst)
+            inst_state.rnd = epoch
+            inst_state.rdec = epoch
+            inst_state.vdec = to_decide[inst]
+            inst_state.vdec_ins = ins_of[to_decide[inst].cid]
+            obj = self.state.obj(l)
+            if not scoped:
+                # Only leadership rounds transfer ownership.
+                if obj.owner is not None and obj.owner != sender:
+                    self.note("owner_handoff", obj=l, old=obj.owner, new=sender)
+                obj.owner = sender
+                obj.owner_epoch = epoch
+                obj.promised = max(obj.promised, epoch)
+                obj.epoch = max(obj.epoch, epoch)
+            obj.observe_position(position)
+            self.state.gap_candidates.add(l)
 
     TAIL_REPORT_CAP = 64
 
@@ -153,6 +169,9 @@ class AcceptorMixin:
                         inst_state.rdec,
                         inst_state.vdec_ins,
                     )
+            self._log_promise(
+                {}, {inst: self.state.inst(inst).rnd for inst in msg.eps}
+            )
             self.env.send(sender, AckPrepare(req=msg.req, ok=True, decs=decs))
             return
 
@@ -193,6 +212,16 @@ class AcceptorMixin:
                         inst_state.rdec,
                         inst_state.vdec_ins,
                     )
+        self._log_promise(
+            {
+                inst[0]: (
+                    self.state.obj(inst[0]).promised,
+                    self.state.obj(inst[0]).epoch,
+                )
+                for inst in msg.eps
+            },
+            {report_inst: self.state.inst(report_inst).rnd for report_inst in decs},
+        )
         self.env.send(sender, AckPrepare(req=msg.req, ok=True, decs=decs))
 
     # ------------------------------------------------------------------
@@ -234,6 +263,7 @@ class AcceptorMixin:
             return
         if not command.noop:
             self.note("decide", cid=command.cid)
+        self._log_decide(inst, command)
         assert self.delivery is not None
         self.delivery.record_decision(l, position, command, self.env.now())
         if self._fully_decided(command):

@@ -61,6 +61,21 @@ class FaultEvent:
 
 
 @dataclass
+class StorageStats:
+    """Aggregate durable-storage activity across the cluster (from the
+    ``fsync`` / ``snapshot`` / ``recovery`` notes the storage layer
+    emits)."""
+
+    fsyncs: int = 0
+    records_flushed: int = 0
+    bytes_flushed: int = 0
+    snapshots: int = 0
+    snapshot_bytes: int = 0
+    recoveries: int = 0
+    records_replayed: int = 0
+
+
+@dataclass
 class OwnershipChurn:
     """Per-object ownership movement (the WPaxos migration metric)."""
 
@@ -86,6 +101,7 @@ class ObsCollector(EnvObserver):
         self.spans: list[Span] = []
         self.handler_stats: dict[str, HandlerStats] = {}
         self.faults: list[FaultEvent] = []
+        self.storage = StorageStats()
         self.churn = OwnershipChurn()
         self.outbox_depth: dict[int, int] = {}  # dst -> max depth seen
         self.message_types: dict[str, int] = {}
@@ -239,6 +255,33 @@ class ObsCollector(EnvObserver):
             dst = fields["dst"]
             if fields["depth"] > self.outbox_depth.get(dst, 0):
                 self.outbox_depth[dst] = fields["depth"]
+        elif kind in ("fsync", "snapshot", "recovery"):
+            stats = self.storage
+            if kind == "fsync":
+                stats.fsyncs += 1
+                stats.records_flushed += fields.get("records", 0)
+                stats.bytes_flushed += fields.get("bytes", 0)
+            elif kind == "snapshot":
+                stats.snapshots += 1
+                stats.snapshot_bytes += fields.get("bytes", 0)
+            else:
+                stats.recoveries += 1
+                stats.records_replayed += fields.get("records", 0)
+            if self.record_spans:
+                # Category "storage", deliberately outside the
+                # handler/wire set the crash-quiescence audit scans: a
+                # group-commit fsync firing is I/O completing, not the
+                # node taking a protocol transition.
+                self.spans.append(
+                    Span(
+                        name=kind,
+                        category="storage",
+                        node=node_id,
+                        start=self.clock.now(),
+                        duration=0.0,
+                        args=dict(fields),
+                    )
+                )
         elif kind == "fault":
             now = self.clock.now()
             event = fields["event"]

@@ -17,6 +17,7 @@ from typing import Callable, Optional
 from repro.consensus.base import Protocol
 from repro.consensus.commands import Command
 from repro.runtime.node import RuntimeNode
+from repro.storage.base import StorageConfig
 
 ProtocolFactory = Callable[[int, int], Protocol]
 
@@ -30,15 +31,38 @@ def _free_port() -> int:
 class LocalCluster:
     """N runtime nodes on 127.0.0.1, each with its own port."""
 
-    def __init__(self, n_nodes: int, protocol_factory: ProtocolFactory) -> None:
+    def __init__(
+        self,
+        n_nodes: int,
+        protocol_factory: ProtocolFactory,
+        storage: Optional[StorageConfig] = None,
+        codec: str = "binary",
+    ) -> None:
         self.n_nodes = n_nodes
         self.protocol_factory = protocol_factory
         ports = [_free_port() for _ in range(n_nodes)]
         self.peers = {i: ("127.0.0.1", port) for i, port in enumerate(ports)}
         self.nodes = [
-            RuntimeNode(i, self.peers, protocol_factory(i, n_nodes))
+            RuntimeNode(
+                i,
+                self.peers,
+                protocol_factory(i, n_nodes),
+                storage=storage.build(i) if storage is not None else None,
+                codec=codec,
+            )
             for i in range(n_nodes)
         ]
+
+    @classmethod
+    def from_spec(cls, spec) -> "LocalCluster":
+        """Build from a :class:`repro.spec.ClusterSpec` -- the preferred
+        constructor (same spec object drives the simulator)."""
+        return cls(
+            spec.n_nodes,
+            spec.protocol_factory(),
+            storage=spec.storage,
+            codec=spec.codec,
+        )
 
     async def start(self) -> None:
         for node in self.nodes:
@@ -47,6 +71,12 @@ class LocalCluster:
     async def stop(self) -> None:
         for node in self.nodes:
             await node.stop()
+        self.close_storage()
+
+    def close_storage(self) -> None:
+        """Release every node's storage resources (file handles)."""
+        for node in self.nodes:
+            node.env.storage.close()
 
     # ------------------------------------------------------------------
     # Failure injection
@@ -57,12 +87,24 @@ class LocalCluster:
         await self.nodes[node_id].stop()
 
     async def restart(self, node_id: int, mode: str = "durable") -> None:
-        """Boot a new incarnation of a crashed node (see SimNode)."""
+        """Boot a new incarnation of a crashed node (see SimNode).
+
+        With a durable storage bound, ``mode="durable"`` replays the
+        store's snapshot + log tail into a factory-fresh protocol (the
+        real recovery scan); without one it keeps the protocol object as
+        the legacy durable-log shortcut.
+        """
+        node = self.nodes[node_id]
         if mode == "durable":
-            await self.nodes[node_id].restart()
+            if node.env.storage.durable:
+                protocol = self.protocol_factory(node_id, self.n_nodes)
+                await node.restart(protocol, recover=True)
+            else:
+                await node.restart()
         elif mode == "amnesia":
+            node.env.storage.wipe()
             protocol = self.protocol_factory(node_id, self.n_nodes)
-            await self.nodes[node_id].restart(protocol)
+            await node.restart(protocol)
         else:
             raise ValueError(f"unknown restart mode: {mode!r}")
 

@@ -479,3 +479,27 @@ def wire_size(message: Message) -> int:
 
 FRAME_HEADER = struct.Struct(">I")
 MAX_FRAME = 16 * 1024 * 1024
+
+
+# ----------------------------------------------------------------------
+# Value API (storage payloads)
+# ----------------------------------------------------------------------
+
+
+def encode_value_binary(value: Any) -> bytes:
+    """Encode one bare value (no frame, no sender) with the binary
+    vocabulary.  The storage layer uses this for log-record and snapshot
+    payloads so durable state shares the wire codec's format, caches,
+    and determinism guarantees (sets and dicts encode identically
+    however they were built)."""
+    out = bytearray()
+    _bin_encode(value, out)
+    return bytes(out)
+
+
+def decode_value_binary(data: bytes) -> Any:
+    """Inverse of :func:`encode_value_binary`."""
+    value, end = _bin_decode(memoryview(data), 0)
+    if end != len(data):
+        raise ValueError(f"trailing bytes in binary value: {len(data) - end}")
+    return value

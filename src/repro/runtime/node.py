@@ -28,14 +28,23 @@ import asyncio
 import random
 from typing import Callable, Optional
 
-from repro.consensus.base import Env, Message, Protocol, TimerHandle
+from repro.consensus.base import (
+    Env,
+    Message,
+    Protocol,
+    Storage,
+    StorageFull,
+    TimerHandle,
+)
 from repro.consensus.commands import Command
 from repro.runtime.codec import (
     FRAME_HEADER,
     MAX_FRAME,
     decode_message,
     encode_message,
+    encode_payload_json,
 )
+from repro.storage.recovery import recover_protocol
 
 Address = tuple[str, int]
 
@@ -116,12 +125,17 @@ class RuntimeNode:
         node_id: int,
         peers: dict[int, Address],
         protocol: Protocol,
+        storage: Optional[Storage] = None,
+        codec: str = "binary",
     ) -> None:
         if node_id not in peers:
             raise ValueError("peers must include this node's own address")
+        if codec not in ("binary", "json"):
+            raise ValueError(f"codec must be 'binary' or 'json', got {codec!r}")
         self.node_id = node_id
         self.peers = peers
         self.protocol = protocol
+        self.codec = codec
         self.delivered: list[Command] = []
         # One entry per finished amnesia incarnation, as in SimNode.
         self.delivery_history: list[list[Command]] = []
@@ -142,6 +156,12 @@ class RuntimeNode:
         self._closed = False
 
         self.env = RuntimeEnv(self)
+        if storage is not None:
+            # The storage object survives crash/restart on the env,
+            # exactly as a disk survives a process death (and for
+            # DiskStorage it *is* real files).
+            self.env.storage = storage
+            storage.attach(self.env, lambda: self.protocol.snapshot_payload())
         protocol.bind(self.env)
 
     # ------------------------------------------------------------------
@@ -171,6 +191,9 @@ class RuntimeNode:
         for timer in list(self._timers):
             timer.cancel()
         self._timers.clear()
+        # Records and group-commit releases not yet fsynced die with the
+        # process; only what the storage flushed survives.
+        self.env.storage.discard_pending()
         senders = list(self._senders.values())
         self._senders.clear()
         for task in senders:
@@ -189,29 +212,62 @@ class RuntimeNode:
             writer.close()
         self._inbound.clear()
 
-    async def restart(self, protocol: Optional[Protocol] = None) -> None:
+    async def restart(
+        self, protocol: Optional[Protocol] = None, *, recover: bool = False
+    ) -> None:
         """Boot a new incarnation of this node.
 
-        ``protocol=None`` is a durable-log restart (the protocol object
-        survives; :meth:`Protocol.on_restart` clears volatile round
-        state); passing a fresh ``protocol`` is an amnesia restart (the
-        old delivery log is archived, the node rejoins blank).
+        ``recover=True`` (requires a fresh ``protocol`` and a durable
+        storage) replays the store's snapshot + log tail into it -- the
+        same recovery scan the simulator's ``restart_from_storage``
+        runs.  Otherwise ``protocol=None`` is the legacy durable-log
+        restart (the protocol object survives; :meth:`Protocol.on_restart`
+        clears volatile round state) and passing a fresh ``protocol``
+        without ``recover`` is an amnesia restart (the old delivery log
+        is archived, the node rejoins blank).
         """
         if not self._closed:
             raise RuntimeError(f"node {self.node_id} is not stopped")
+        if recover:
+            if protocol is None:
+                raise ValueError("recover=True requires a fresh protocol")
+            if not self.env.storage.durable:
+                raise RuntimeError(
+                    f"node {self.node_id} has no durable storage"
+                )
         self.incarnation += 1
-        mode = "durable" if protocol is None else "amnesia"
-        if protocol is None:
+        if recover:
+            mode = "durable"
+            self.delivery_history.append(self.delivered)
+            self.delivered = []
+            protocol.bind(self.env)
+            self.protocol = protocol
+        elif protocol is None:
+            mode = "durable"
             self.protocol.on_restart()
         else:
+            mode = "amnesia"
             self.delivery_history.append(self.delivered)
             self.delivered = []
             protocol.bind(self.env)
             self.protocol = protocol
         self._closed = False
         self.env.observe(
-            "fault", event="restart", mode=mode, incarnation=self.incarnation
+            "fault",
+            event="restart",
+            mode=mode,
+            incarnation=self.incarnation,
+            recovered=recover,
         )
+        if recover:
+
+            def replay() -> None:
+                stats = recover_protocol(self.protocol, self.env.storage)
+                self.env.observe(
+                    "recovery", delivered=len(self.delivered), **stats
+                )
+
+            self.run_event(replay)
         await self.start()
 
     # ------------------------------------------------------------------
@@ -219,14 +275,29 @@ class RuntimeNode:
     # ------------------------------------------------------------------
 
     def run_event(self, fn: Callable[[], None]) -> None:
-        """Run one protocol event inside the env's outbox scope."""
+        """Run one protocol event inside the env's outbox scope.
+
+        :class:`StorageFull` is fail-stop, as in the simulator: the
+        event's outbox is discarded and the node crashes (``stop()`` is
+        scheduled -- it is async -- but the discarded outbox already
+        guarantees no unpersisted ack escaped)."""
         if self._closed:
             return
         self.env.begin_event()
+        storage_failed = False
         try:
-            fn()
+            try:
+                fn()
+            except StorageFull:
+                storage_failed = True
         finally:
-            self.env.end_event()
+            try:
+                self.env.end_event(discard=storage_failed)
+            except StorageFull:
+                storage_failed = True
+                self.env.storage.discard_pending()
+        if storage_failed:
+            asyncio.ensure_future(self.stop())
 
     def propose(self, command: Command) -> None:
         if self._closed:
@@ -234,6 +305,20 @@ class RuntimeNode:
             return
         self.env.observe_propose(command)
         self.run_event(lambda: self.protocol.propose(command))
+
+    def _encode(self, message: Message) -> bytes:
+        """One length-prefixed frame in this node's configured codec.
+
+        ``binary`` (default) uses the compact codec with its automatic
+        JSON fallback for unregistered classes; ``json`` forces the
+        debug-friendly JSON payload for every message.  Both decode
+        through the same :func:`decode_message`, so codecs can be mixed
+        per node on one cluster.
+        """
+        if self.codec == "json":
+            payload = encode_payload_json(self.node_id, message)
+            return FRAME_HEADER.pack(len(payload)) + payload
+        return encode_message(self.node_id, message)
 
     def enqueue(self, dst: int, messages: list[Message]) -> None:
         """Queue one flush batch for ``dst`` and kick its sender task."""
@@ -249,7 +334,7 @@ class RuntimeNode:
             return
         faults = self.wire_faults
         if faults is None:
-            frames = b"".join(encode_message(self.node_id, m) for m in messages)
+            frames = b"".join(self._encode(m) for m in messages)
             self._enqueue_frames(dst, frames)
             return
         # Fault shim: evaluate drop/duplicate/delay per message.  On-time
@@ -261,7 +346,7 @@ class RuntimeNode:
         now = loop.time()
         on_time: list[bytes] = []
         for message in messages:
-            frame = encode_message(self.node_id, message)
+            frame = self._encode(message)
             for extra in faults(self.node_id, dst, now):
                 if extra <= 0:
                     on_time.append(frame)

@@ -17,6 +17,7 @@ from repro.sim.event_loop import EventLoop
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.node import SimNode
 from repro.sim.rng import RngRegistry
+from repro.storage.base import StorageConfig
 
 ProtocolFactory = Callable[[int, int], Protocol]
 """Maps ``(node_id, n_nodes)`` to a fresh protocol instance."""
@@ -24,12 +25,20 @@ ProtocolFactory = Callable[[int, int], Protocol]
 
 @dataclass
 class ClusterConfig:
-    """Deployment shape for a simulated cluster."""
+    """Deployment shape for a simulated cluster.
+
+    Deprecated as a public entry point: new code should build a
+    :class:`repro.spec.ClusterSpec` and call :meth:`Cluster.from_spec`,
+    which covers protocol choice, codec, and storage in one object.
+    This class remains the internal carrier (and a thin shim for
+    existing callers/tests).
+    """
 
     n_nodes: int = 3
     seed: int = 0
     network: NetworkConfig = field(default_factory=NetworkConfig)
     cpu: CpuConfig = field(default_factory=CpuConfig)
+    storage: Optional[StorageConfig] = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -53,6 +62,11 @@ class Cluster:
         self.nodes: list[SimNode] = []
         for node_id in range(config.n_nodes):
             protocol = protocol_factory(node_id, config.n_nodes)
+            storage = (
+                config.storage.build(node_id)
+                if config.storage is not None
+                else None
+            )
             node = SimNode(
                 node_id,
                 self.loop,
@@ -60,8 +74,20 @@ class Cluster:
                 protocol,
                 self.rng,
                 cpu_config=config.cpu,
+                storage=storage,
             )
             self.nodes.append(node)
+
+    @classmethod
+    def from_spec(cls, spec) -> "Cluster":
+        """Build from a :class:`repro.spec.ClusterSpec` -- the preferred
+        constructor (one config object for both substrates)."""
+        return cls(spec.sim_cluster_config(), spec.protocol_factory())
+
+    def close_storage(self) -> None:
+        """Release every node's storage resources (file handles)."""
+        for node in self.nodes:
+            node.env.storage.close()
 
     def start(self) -> None:
         """Fire every node's startup hook (e.g. initial leader election)."""
@@ -96,17 +122,27 @@ class Cluster:
     def restart(self, node_id: int, mode: str = "durable") -> None:
         """Boot a new incarnation of a crashed node.
 
-        ``mode="durable"`` keeps the protocol object (its state is the
-        durable log) and clears only volatile round state;
-        ``mode="amnesia"`` replaces it with a factory-fresh instance --
+        ``mode="durable"`` with a durable storage bound replays the
+        node's snapshot + log tail into a factory-fresh protocol (the
+        real recovery scan); without one it falls back to the legacy
+        shortcut of keeping the protocol object (its state standing in
+        for the durable log) and clearing volatile round state.
+        ``mode="amnesia"`` wipes the store and binds a fresh instance --
         all acceptor promises are lost, exactly the failure the paper's
         crash-recovery sketch has to survive.
         """
+        node = self.nodes[node_id]
         if mode == "durable":
-            self.nodes[node_id].restart()
+            if node.env.storage.durable:
+                node.restart_from_storage(
+                    self.protocol_factory(node_id, self.config.n_nodes)
+                )
+            else:
+                node.restart()
         elif mode == "amnesia":
+            node.env.storage.wipe()
             protocol = self.protocol_factory(node_id, self.config.n_nodes)
-            self.nodes[node_id].restart(protocol)
+            node.restart(protocol)
         else:
             raise ValueError(f"unknown restart mode: {mode!r}")
 

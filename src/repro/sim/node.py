@@ -25,12 +25,20 @@ from __future__ import annotations
 import random
 from typing import Callable, Optional
 
-from repro.consensus.base import Env, Message, Protocol, TimerHandle
+from repro.consensus.base import (
+    Env,
+    Message,
+    Protocol,
+    Storage,
+    StorageFull,
+    TimerHandle,
+)
 from repro.consensus.commands import Command
 from repro.sim.cpu import CpuConfig, CpuModel
 from repro.sim.event_loop import Event, EventLoop
 from repro.sim.network import Network
 from repro.sim.rng import RngRegistry
+from repro.storage.recovery import recover_protocol
 
 
 class _SimTimer(TimerHandle):
@@ -142,6 +150,7 @@ class SimNode:
         protocol: Protocol,
         rng: RngRegistry,
         cpu_config: Optional[CpuConfig] = None,
+        storage: Optional[Storage] = None,
     ) -> None:
         self.node_id = node_id
         self.loop = loop
@@ -159,6 +168,13 @@ class SimNode:
         self._timers: set[Event] = set()
 
         self.env = SimEnv(self)
+        if storage is not None:
+            # The storage object *is* the node's disk: it stays on the
+            # env across crash/restart, and its group-commit timer runs
+            # on the node's virtual clock (cancelled by a crash, exactly
+            # like an in-flight fsync dies with the process).
+            self.env.storage = storage
+            storage.attach(self.env, lambda: self.protocol.snapshot_payload())
         protocol.bind(self.env)
         network.register(node_id, self._on_network_message)
 
@@ -174,12 +190,28 @@ class SimNode:
         """Run one protocol event inside the env's outbox scope, so its
         sends flush as batches when the event completes.  Exceptions
         (e.g. SafetyViolation) still propagate; the depth counter is
-        restored either way."""
+        restored either way.
+
+        :class:`StorageFull` -- from a modelled capacity cap during the
+        handler, or from a real write failure during the end-of-event
+        commit -- is fail-stop: the event's outbox is discarded (a node
+        that could not persist must not acknowledge) and the node
+        crashes."""
         self.env.begin_event()
+        storage_failed = False
         try:
-            fn()
+            try:
+                fn()
+            except StorageFull:
+                storage_failed = True
         finally:
-            self.env.end_event()
+            try:
+                self.env.end_event(discard=storage_failed)
+            except StorageFull:
+                storage_failed = True
+                self.env.storage.discard_pending()
+        if storage_failed:
+            self.crash()
 
     def _charge_and_run(self, message: Optional[Message], fn: Callable[[], None]) -> None:
         cost, serial = self.protocol.processing_cost(message)
@@ -259,6 +291,9 @@ class SimNode:
         for event in self._timers:
             event.cancel()
         self._timers.clear()
+        # Un-fsynced records and queued group-commit releases die with
+        # the process; only what the storage flushed survives.
+        self.env.storage.discard_pending()
         self.network.crash(self.node_id)
         self.protocol.crash()
 
@@ -288,4 +323,44 @@ class SimNode:
         self.env.observe(
             "fault", event="restart", mode=mode, incarnation=self.incarnation
         )
+        self.run_event(self.protocol.on_start)
+
+    def restart_from_storage(self, protocol: Protocol) -> None:
+        """Boot a new incarnation from the durable store.
+
+        A factory-fresh ``protocol`` is bound and rebuilt by replaying
+        the storage's snapshot + log tail through
+        :func:`repro.storage.recovery.recover_protocol` -- the same scan
+        the asyncio runtime uses.  The pre-crash delivery log is
+        archived; replay must rebuild it as a byte-identical prefix of
+        the new incarnation's log (the chaos checker asserts this), so
+        the node is *not* amnesiac.
+        """
+        if not self.crashed:
+            raise RuntimeError(f"node {self.node_id} is not crashed")
+        storage = self.env.storage
+        if not storage.durable:
+            raise RuntimeError(f"node {self.node_id} has no durable storage")
+        self.incarnation += 1
+        self.delivery_history.append(self.delivered)
+        self.delivered = []
+        protocol.bind(self.env)
+        self.protocol = protocol
+        self.crashed = False
+        self.network.recover(self.node_id)
+        self.env.observe(
+            "fault",
+            event="restart",
+            mode="durable",
+            incarnation=self.incarnation,
+            recovered=True,
+        )
+
+        def replay() -> None:
+            stats = recover_protocol(self.protocol, storage)
+            self.env.observe(
+                "recovery", delivered=len(self.delivered), **stats
+            )
+
+        self.run_event(replay)
         self.run_event(self.protocol.on_start)

@@ -1,0 +1,43 @@
+"""Durable storage: segmented log + snapshots behind the Storage API.
+
+The substrate-independent contract (:class:`Storage`,
+:class:`NullStorage`, :class:`StorageFull`) lives in
+:mod:`repro.consensus.base` next to :class:`Env`; this package holds the
+real implementations and the recovery driver.  See DESIGN.md,
+"Durability".
+"""
+
+from repro.consensus.base import (
+    NULL_STORAGE,
+    NullStorage,
+    Recovered,
+    Storage,
+    StorageFull,
+)
+from repro.storage.base import LogStorage, StorageConfig
+from repro.storage.disk import DiskStorage
+from repro.storage.mem import MemStorage
+from repro.storage.record import (
+    frame_record,
+    frame_snapshot,
+    parse_snapshot,
+    scan_records,
+)
+from repro.storage.recovery import recover_protocol
+
+__all__ = [
+    "NULL_STORAGE",
+    "NullStorage",
+    "Recovered",
+    "Storage",
+    "StorageFull",
+    "LogStorage",
+    "StorageConfig",
+    "DiskStorage",
+    "MemStorage",
+    "frame_record",
+    "frame_snapshot",
+    "parse_snapshot",
+    "scan_records",
+    "recover_protocol",
+]

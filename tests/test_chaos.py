@@ -15,7 +15,7 @@ from repro.chaos import (
     check_run,
     run_scenario,
 )
-from repro.chaos.scenarios import SCENARIOS, SMOKE, by_name
+from repro.chaos.scenarios import DURABLE_SMOKE, SCENARIOS, SMOKE, by_name
 from repro.consensus.commands import Command
 from repro.core.messages import Decide
 from repro.core.protocol import M2Paxos, M2PaxosConfig
@@ -395,3 +395,61 @@ class TestScenarios:
             {0: [[]]}, live_nodes={0}, must_deliver=[(0, 0)]
         )
         assert not report.ok
+
+
+class TestDurableScenarios:
+    """The storage-backed scenario family: restarts go through the real
+    recovery scan (snapshot + log tail into a factory-fresh protocol)
+    and the runner audits the recovered log as a byte-identical prefix
+    of the pre-crash one -- a violation flips ``ok``."""
+
+    @pytest.mark.parametrize("name", DURABLE_SMOKE)
+    def test_durable_scenarios_pass_and_replay_identically(self, name):
+        scenario = by_name(name)
+        assert scenario.storage is not None
+        first = run_scenario(scenario)
+        second = run_scenario(scenario)
+        assert first.ok, first.report.violations
+        assert second.ok, second.report.violations
+        assert first.fingerprint == second.fingerprint
+
+    def test_recover_snapshot_tail_on_disk(self, tmp_path):
+        from dataclasses import replace
+
+        from repro.storage.base import StorageConfig
+
+        scenario = by_name("recover-snapshot-tail")
+        storage = replace(
+            scenario.storage, kind="disk", dir=str(tmp_path)
+        )
+        result = run_scenario(scenario, storage=storage)
+        assert result.ok, result.report.violations
+
+    def test_disk_full_fail_stop_is_survivable(self):
+        result = run_scenario(by_name("disk-full"))
+        assert result.ok, result.report.violations
+        # Exactly one fault: the capacity-capped node's own crash (no
+        # fault plan drives this scenario).
+        assert result.faults_observed == 1
+
+    def test_wiped_store_recovers_empty(self):
+        """``wipe()`` (the amnesia-restart path) must leave nothing for
+        the recovery scan, so an amnesia rejoin really starts blank."""
+        from repro.sim.cluster import Cluster
+        from repro.spec import ClusterSpec
+        from repro.storage.base import StorageConfig
+
+        scenario = by_name("recover-snapshot-tail")
+        spec = ClusterSpec(
+            protocol="m2paxos",
+            n_nodes=scenario.n_nodes,
+            seed=scenario.seed,
+            m2=M2PaxosConfig(),
+            storage=StorageConfig(kind="mem"),
+        )
+        cluster = Cluster.from_spec(spec)
+        node = cluster.nodes[1]
+        node.env.storage.wipe()
+        recovered = node.env.storage.recover()
+        assert recovered.records == []
+        assert recovered.snapshot is None

@@ -108,3 +108,60 @@ def test_cli_perf_smoke(tmp_path, capsys, monkeypatch):
     stdout = capsys.readouterr().out
     assert "sim events/sec" in stdout
     assert perf_mod.BENCH_SCHEMA in out.read_text()
+
+def test_storage_fsync_bench_schema_and_floor():
+    datapoint = run_perf(MICRO, only=["storage_fsync"])
+    storage = datapoint["results"]["storage_fsync"]
+    assert storage["records"] == MICRO.storage_records
+    assert storage["group_size"] > 1
+    assert storage["per_record_fsync_records_per_sec"] > 0
+    assert storage["batched_fsync_records_per_sec"] > 0
+    # Group commit amortises one fsync over the whole group; even on a
+    # tmpfs-backed CI disk the batched arm should clear the 3x CI floor.
+    assert storage["speedup"] >= 3.0
+    assert check_regressions(datapoint) == []
+
+
+def test_check_regressions_trips_on_slow_fsync_batching():
+    datapoint = {"results": {"storage_fsync": {"speedup": 1.2}}}
+    problems = check_regressions(datapoint)
+    assert len(problems) == 1
+    assert "fsync" in problems[0]
+
+
+def test_config_hash_stable_and_config_sensitive():
+    from repro.bench.perf import config_hash
+
+    assert config_hash(MICRO) == config_hash(MICRO)
+    smaller = PerfConfig(sim_events=MICRO.sim_events - 1, smoke=True)
+    assert config_hash(MICRO) != config_hash(smaller)
+
+
+def test_datapoint_carries_config_hash():
+    datapoint = run_perf(MICRO, only=["sim"])
+    assert len(datapoint["config_hash"]) == 16
+
+
+def test_write_datapoint_dedupes_reruns(tmp_path):
+    from dataclasses import replace
+
+    path = str(tmp_path / "BENCH_full.json")
+    first = run_perf(MICRO, only=["sim"])
+    first["tag"] = "old"
+    write_datapoint(first, path)
+    rerun = run_perf(MICRO, only=["sim"])
+    rerun["tag"] = "new"
+    write_datapoint(rerun, path)
+    with open(path) as fh:
+        history = json.load(fh)
+    # Same (config, seed, bench set): the rerun replaces, not appends.
+    assert isinstance(history, list)
+    assert len(history) == 1
+    assert history[0]["tag"] == "new"
+
+    other_seed = run_perf(replace(MICRO, seed=7), only=["sim"])
+    write_datapoint(other_seed, path)
+    with open(path) as fh:
+        history = json.load(fh)
+    assert len(history) == 2
+    assert {d["seed"] for d in history} == {MICRO.seed, 7}
