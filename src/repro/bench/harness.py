@@ -39,14 +39,16 @@ def protocol_factory(
     home_hint: Optional[Callable[[str], int]] = None,
     max_batch: int = 1,
     batch_wait: float = 0.0,
+    batch_adaptive: bool = False,
     costs=None,
 ) -> Callable[[int, int], Protocol]:
     """Benchmark-tuned factory for each protocol under test.
 
-    ``max_batch``/``batch_wait`` configure M2Paxos fast-path batching
-    (ignored by the other protocols); ``costs`` optionally replaces the
-    protocol's CPU-cost profile (the perf bench uses a wire-bound
-    profile to isolate the protocol-layer effect of batching).
+    ``max_batch``/``batch_wait``/``batch_adaptive`` configure M2Paxos
+    fast-path batching (ignored by the other protocols); ``costs``
+    optionally replaces the protocol's CPU-cost profile (the perf bench
+    uses a wire-bound profile to isolate the protocol-layer effect of
+    batching).
     """
     if name == "m2paxos":
         config = M2PaxosConfig(
@@ -61,6 +63,7 @@ def protocol_factory(
             home_hint=home_hint,
             max_batch=max_batch,
             batch_wait=batch_wait,
+            batch_adaptive=batch_adaptive,
         )
 
         def make_m2(node_id: int, n: int) -> Protocol:

@@ -30,6 +30,7 @@ protocol-layer change.
 
 from __future__ import annotations
 
+import gc
 import hashlib
 import json
 import os
@@ -65,6 +66,13 @@ class PerfConfig:
     bench_warmup: float = 0.4
     runtime_commands: int = 300
     storage_records: int = 2048
+    # Saturation sweep (bench ``runtime_saturation``): pipeline depths
+    # to try and commands per arm.  ``uvloop=True`` runs every runtime
+    # bench under uvloop's event loop when installed (silent fallback
+    # otherwise; see repro.runtime.cluster.run).
+    saturation_depths: tuple[int, ...] = (1, 4, 16, 64)
+    saturation_commands: int = 1200
+    uvloop: bool = False
     smoke: bool = False
 
     def scaled_for_smoke(self) -> "PerfConfig":
@@ -77,6 +85,8 @@ class PerfConfig:
             bench_warmup=0.25,
             runtime_commands=120,
             storage_records=512,
+            saturation_depths=(1, 16),
+            saturation_commands=360,
             smoke=True,
         )
 
@@ -270,10 +280,8 @@ def bench_runtime_tcp(config: PerfConfig) -> dict:
     """Commands/sec through asyncio RuntimeNodes on localhost sockets
     (binary codec end to end).  3 nodes keep the quorum math real while
     staying cheap enough for CI."""
-    import asyncio
-
     from repro.bench.harness import protocol_factory
-    from repro.runtime.cluster import LocalCluster
+    from repro.runtime.cluster import LocalCluster, run
 
     n_nodes = 3
     n_commands = config.runtime_commands
@@ -294,13 +302,97 @@ def bench_runtime_tcp(config: PerfConfig) -> dict:
         finally:
             await cluster.stop()
 
-    elapsed = asyncio.run(drive())
+    elapsed = run(drive(), uvloop=config.uvloop)
     total = (n_commands // n_nodes) * n_nodes
     return {
         "nodes": n_nodes,
         "commands": total,
         "commands_per_sec": total / elapsed,
         "wall_seconds": elapsed,
+    }
+
+
+# The one pipelined M2 configuration every saturation arm runs: with
+# ``batch_adaptive`` on, a depth-1 client sees immediate flushes (the
+# serial protocol, batching adds no latency) while deep windows coalesce
+# up to 32 commands per Accept round -- so the per-depth speedup
+# isolates the *client window*, not a config change.
+SATURATION_M2 = dict(max_batch=32, batch_wait=5e-3, batch_adaptive=True)
+
+
+def bench_runtime_saturation(config: PerfConfig) -> dict:
+    """Commands/sec through the real runtime as the client pipeline
+    deepens -- the sim<->runtime gap bench.
+
+    Each depth arm boots a fresh 3-node cluster, settles ownership with
+    an unmeasured warmup pass (first-touch acquisitions and their
+    deferred-retry churn would otherwise bill the measured window for a
+    one-time transient), then drives ``saturation_commands`` through a
+    :class:`~repro.runtime.driver.PipelineDriver` window.  All arms run
+    the same pipelined protocol config (``SATURATION_M2``), so the
+    depth-1 arm is the honest serial baseline for the speedup."""
+    from repro.bench.harness import protocol_factory
+    from repro.runtime.cluster import LocalCluster, run, uvloop_available
+    from repro.runtime.driver import PipelineDriver
+
+    n_nodes = 3
+    n_commands = config.saturation_commands
+    per_node = n_commands // n_nodes
+
+    async def arm(depth: int) -> dict:
+        factory = protocol_factory("m2paxos", **SATURATION_M2)
+        cluster = LocalCluster(n_nodes, factory)
+        await cluster.start()
+        try:
+            warm = [
+                (node, Command.make(node, 1_000_000 + i, [f"o{node}.{i % 8}"]))
+                for node in range(n_nodes)
+                for i in range(min(64, per_node))
+            ]
+            await PipelineDriver(cluster, depth=min(depth, 8)).run(
+                warm, timeout=60.0
+            )
+            proposals = [
+                (node, Command.make(node, i, [f"o{node}.{i % 8}"]))
+                for node in range(n_nodes)
+                for i in range(per_node)
+            ]
+            driver = PipelineDriver(cluster, depth=depth)
+            # Collector pauses skew short windows by whole milliseconds;
+            # park the GC for the measured region only.
+            gc.collect()
+            gc.disable()
+            start = time.perf_counter()
+            try:
+                await driver.run(proposals, timeout=60.0)
+                elapsed = time.perf_counter() - start
+            finally:
+                gc.enable()
+            return {
+                "commands_per_sec": per_node * n_nodes / elapsed,
+                "wall_seconds": elapsed,
+                "peak_inflight": driver.max_inflight,
+            }
+        finally:
+            await cluster.stop()
+
+    depths = {}
+    for depth in config.saturation_depths:
+        depths[str(depth)] = run(arm(depth), uvloop=config.uvloop)
+    serial_key = str(min(int(k) for k in depths))
+    best_key = max(depths, key=lambda k: depths[k]["commands_per_sec"])
+    serial = depths[serial_key]["commands_per_sec"]
+    best = depths[best_key]["commands_per_sec"]
+    return {
+        "nodes": n_nodes,
+        "commands": per_node * n_nodes,
+        "depths": depths,
+        "serial_depth": int(serial_key),
+        "serial_commands_per_sec": serial,
+        "best_depth": int(best_key),
+        "best_commands_per_sec": best,
+        "pipelined_speedup": best / serial if serial else float("inf"),
+        "uvloop": config.uvloop and uvloop_available(),
     }
 
 
@@ -371,8 +463,32 @@ BENCHES = {
     "codec": bench_codec,
     "m2_batching": bench_m2_batching,
     "runtime_tcp": bench_runtime_tcp,
+    "runtime_saturation": bench_runtime_saturation,
     "storage_fsync": bench_storage_fsync,
 }
+
+
+def sim_runtime_gap(results: dict) -> dict | None:
+    """The sim<->runtime gap as a first-class datapoint: how many times
+    faster the simulator's batched saturation throughput is than the
+    best the real asyncio/TCP substrate achieves.  ``None`` unless both
+    sides were measured in this run."""
+    batching = results.get("m2_batching")
+    if batching is None:
+        return None
+    saturation = results.get("runtime_saturation")
+    if saturation is not None:
+        runtime_cps = saturation["best_commands_per_sec"]
+    elif results.get("runtime_tcp") is not None:
+        runtime_cps = results["runtime_tcp"]["commands_per_sec"]
+    else:
+        return None
+    sim_cps = batching["batched"]["commands_per_sec"]
+    return {
+        "sim_commands_per_sec": sim_cps,
+        "runtime_commands_per_sec": runtime_cps,
+        "gap_ratio": sim_cps / runtime_cps if runtime_cps else float("inf"),
+    }
 
 
 def run_perf(config: PerfConfig, only: list[str] | None = None) -> dict:
@@ -384,6 +500,9 @@ def run_perf(config: PerfConfig, only: list[str] | None = None) -> dict:
     results = {}
     for name in names:
         results[name] = BENCHES[name](config)
+    gap = sim_runtime_gap(results)
+    if gap is not None:
+        results["sim_runtime_gap"] = gap
     return {
         "schema": BENCH_SCHEMA,
         "stamp": time.strftime("%Y%m%d-%H%M%S"),
@@ -424,6 +543,13 @@ def check_regressions(datapoint: dict) -> list[str]:
         problems.append(
             f"fsync-batched appends are not >= 3x per-record fsync "
             f"(speedup {storage['speedup']:.3f})"
+        )
+    saturation = results.get("runtime_saturation")
+    if saturation is not None and saturation["pipelined_speedup"] < 1.5:
+        problems.append(
+            f"pipelined runtime is not >= 1.5x the serial depth-1 client "
+            f"(speedup {saturation['pipelined_speedup']:.3f} at depth "
+            f"{saturation['best_depth']})"
         )
     return problems
 

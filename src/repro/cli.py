@@ -293,7 +293,7 @@ def cmd_perf(args) -> int:
         write_datapoint,
     )
 
-    config = PerfConfig(seed=args.seed)
+    config = PerfConfig(seed=args.seed, uvloop=args.uvloop)
     if args.smoke:
         config = config.scaled_for_smoke()
     datapoint = run_perf(config, only=args.benches or None)
@@ -317,6 +317,16 @@ def cmd_perf(args) -> int:
     if "runtime_tcp" in results:
         rows.append({"bench": "runtime TCP cmds/sec",
                      "value": results["runtime_tcp"]["commands_per_sec"]})
+    if "runtime_saturation" in results:
+        saturation = results["runtime_saturation"]
+        for depth, entry in saturation["depths"].items():
+            rows.append({"bench": f"runtime depth={depth} cmds/sec",
+                         "value": entry["commands_per_sec"]})
+        rows.append({"bench": "runtime pipelined speedup",
+                     "value": saturation["pipelined_speedup"]})
+    if "sim_runtime_gap" in results:
+        rows.append({"bench": "sim/runtime gap ratio",
+                     "value": results["sim_runtime_gap"]["gap_ratio"]})
     if "storage_fsync" in results:
         rows.append({"bench": "fsync-batched records/sec",
                      "value": results["storage_fsync"]["batched_fsync_records_per_sec"]})
@@ -416,11 +426,16 @@ def main(argv=None) -> int:
     perf_parser.add_argument(
         "benches", nargs="*",
         help="subset to run: sim codec m2_batching runtime_tcp "
-             "storage_fsync (default: all)",
+             "runtime_saturation storage_fsync (default: all)",
     )
     perf_parser.add_argument("--seed", type=int, default=1)
     perf_parser.add_argument(
         "--smoke", action="store_true", help="quick CI variant"
+    )
+    perf_parser.add_argument(
+        "--uvloop", action="store_true",
+        help="run runtime benches under uvloop when installed "
+             "(silently falls back to stock asyncio)",
     )
     perf_parser.add_argument(
         "--out", default=None, help="datapoint path (default BENCH_<stamp>.json)"

@@ -107,6 +107,9 @@ class M2Paxos(
         self._batch: list = []
         self._batch_cids: set[tuple[int, int]] = set()
         self._batch_timer = None
+        # Our own proposals not yet fully decided -- the depth gauge
+        # behind ``config.batch_adaptive`` (see _effective_batch_wait).
+        self._inflight_cids: set[tuple[int, int]] = set()
         # Diagnostics consumed by the benchmark harness.
         self.stats = {
             "fast_path": 0,
@@ -147,6 +150,7 @@ class M2Paxos(
         self._batch.clear()
         self._batch_cids.clear()
         self._batch_timer = None  # already cancelled by the substrate
+        self._inflight_cids.clear()
 
     @property
     def quorum(self) -> int:

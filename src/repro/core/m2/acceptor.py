@@ -277,6 +277,7 @@ class AcceptorMixin:
             # and block every future recovery of it.
             self._attempts.pop(command.cid, None)
             self._active_recoveries.discard(command.cid)
+            self._inflight_cids.discard(command.cid)
         appended = self.delivery.pump(dirty=command.ls)
         # Every object whose frontier may have moved goes (back) on the
         # gap checker's radar; the checker discards clean ones itself.

@@ -25,6 +25,9 @@ class ProposerMixin:
 
     def propose(self, command: Command) -> None:
         self.policy.on_local_request(self.env.node_id, command)
+        # In-flight gauge feeding the adaptive batch_wait: our own
+        # proposals not yet fully decided (pruned in ``_decide``).
+        self._inflight_cids.add(command.cid)
         self._coordinate(command, hops=0)
         self._supervise(command)
 
@@ -233,6 +236,25 @@ class ProposerMixin:
     # and acceptors vote per instance, so the decided per-object total
     # order is identical to sequential rounds.
 
+    def _effective_batch_wait(self) -> float:
+        """How long the first queued command should wait for company.
+
+        Fixed mode returns ``batch_wait`` untouched.  Adaptive mode
+        self-tunes to the observed in-flight depth: with at most one of
+        our proposals undecided there is nobody to coalesce with, so
+        the wait is zero (flush immediately, no latency tax); with a
+        deep pipeline the wait scales toward the full ``batch_wait``
+        because the next proposals are already in flight and a fuller
+        batch amortises the round cost further.
+        """
+        cfg = self.config
+        if not cfg.batch_adaptive:
+            return cfg.batch_wait
+        depth = len(self._inflight_cids)
+        if depth <= 1:
+            return 0.0
+        return cfg.batch_wait * min(1.0, depth / cfg.max_batch)
+
     def _enqueue_fast(self, command: Command) -> None:
         """Queue a fast-path command for the next batched Accept round."""
         if command.cid in self._batch_cids:
@@ -242,12 +264,17 @@ class ProposerMixin:
         if len(self._batch) >= self.config.max_batch:
             self._flush_batch()
         elif self._batch_timer is None:
+            wait = self._effective_batch_wait()
+            if wait <= 0.0 and self.config.batch_adaptive:
+                # Shallow pipeline: waiting cannot attract company.
+                self._flush_batch()
+                return
 
             def fire() -> None:
                 self._batch_timer = None
                 self._flush_batch()
 
-            self._batch_timer = self.env.set_timer(self.config.batch_wait, fire)
+            self._batch_timer = self.env.set_timer(wait, fire)
 
     def _flush_batch(self) -> None:
         """Emit one Accept round covering every still-eligible queued

@@ -104,6 +104,7 @@ class ObsCollector(EnvObserver):
         self.storage = StorageStats()
         self.churn = OwnershipChurn()
         self.outbox_depth: dict[int, int] = {}  # dst -> max depth seen
+        self.client_inflight: dict[int, int] = {}  # node -> max pipeline depth
         self.message_types: dict[str, int] = {}
         self.flush_batches = 0
         self.wire_messages = 0
@@ -255,6 +256,11 @@ class ObsCollector(EnvObserver):
             dst = fields["dst"]
             if fields["depth"] > self.outbox_depth.get(dst, 0):
                 self.outbox_depth[dst] = fields["depth"]
+        elif kind == "inflight":
+            # Client pipeline depth gauge, emitted by the runtime's
+            # PipelineDriver before each propose.
+            if fields["depth"] > self.client_inflight.get(node_id, 0):
+                self.client_inflight[node_id] = fields["depth"]
         elif kind in ("fsync", "snapshot", "recovery"):
             stats = self.storage
             if kind == "fsync":

@@ -415,10 +415,16 @@ def encode_payload_binary(sender: int, message: Message) -> bytes:
     return bytes(out)
 
 
-def decode_payload(payload: bytes) -> tuple[int, Message]:
-    """Decode one frame payload, auto-detecting the codec."""
+def decode_payload(payload: "bytes | memoryview") -> tuple[int, Message]:
+    """Decode one frame payload, auto-detecting the codec.
+
+    Accepts a ``memoryview`` so the inbound path can slice frames out of
+    its receive buffer without copying each payload first; only the
+    values that outlive the frame (strings, command bodies) are copied,
+    inside :func:`_bin_decode`.
+    """
     if payload[0] == _BIN_MAGIC:
-        buf = memoryview(payload)
+        buf = payload if type(payload) is memoryview else memoryview(payload)
         u, pos = _read_uvarint(buf, 1)
         message, end = _bin_decode(buf, pos)
         if end != len(payload):
@@ -426,13 +432,43 @@ def decode_payload(payload: bytes) -> tuple[int, Message]:
                 f"trailing bytes in binary frame: {len(payload) - end}"
             )
         return _unzigzag(u), message
-    data = json.loads(payload.decode())
+    data = json.loads(bytes(payload))
     return data["s"], _decode_value(data["m"])
 
 
 # ----------------------------------------------------------------------
 # Frame API
 # ----------------------------------------------------------------------
+
+
+def encode_message_into(out: bytearray, sender: int, message: Message) -> None:
+    """Append one length-prefixed frame for ``message`` to ``out``.
+
+    This is the zero-copy encode path: the binary encoder writes
+    straight into the caller's (reused) buffer -- no per-message
+    ``bytes`` object, no join -- and the 4-byte length prefix is
+    back-patched once the payload size is known.  Fallback semantics
+    match :func:`encode_message`: a class outside the binary vocabulary
+    is remembered as JSON-only and its half-written frame is rolled
+    back.
+    """
+    cls = message.__class__
+    if cls not in _JSON_ONLY:
+        mark = len(out)
+        out += _HEADER_PLACEHOLDER
+        try:
+            out.append(_BIN_MAGIC)
+            _write_svarint(out, sender)
+            _bin_encode(message, out)
+        except (_Unencodable, TypeError):
+            _JSON_ONLY.add(cls)
+            del out[mark:]
+        else:
+            FRAME_HEADER.pack_into(out, mark, len(out) - mark - FRAME_HEADER.size)
+            return
+    payload = encode_payload_json(sender, message)
+    out += FRAME_HEADER.pack(len(payload))
+    out += payload
 
 
 def encode_message(sender: int, message: Message) -> bytes:
@@ -443,19 +479,12 @@ def encode_message(sender: int, message: Message) -> bytes:
     exotic field values) falls back to JSON, and the class is remembered
     as JSON-only so the failed walk is not repeated per message.
     """
-    cls = message.__class__
-    if cls not in _JSON_ONLY:
-        try:
-            payload = encode_payload_binary(sender, message)
-        except (_Unencodable, TypeError):
-            _JSON_ONLY.add(cls)
-        else:
-            return FRAME_HEADER.pack(len(payload)) + payload
-    payload = encode_payload_json(sender, message)
-    return FRAME_HEADER.pack(len(payload)) + payload
+    out = bytearray()
+    encode_message_into(out, sender, message)
+    return bytes(out)
 
 
-def decode_message(payload: bytes) -> tuple[int, Message]:
+def decode_message(payload: "bytes | memoryview") -> tuple[int, Message]:
     """Inverse of :func:`encode_message` (without the length prefix)."""
     sender, message = decode_payload(payload)
     if not isinstance(message, Message):
@@ -478,6 +507,7 @@ def wire_size(message: Message) -> int:
 
 
 FRAME_HEADER = struct.Struct(">I")
+_HEADER_PLACEHOLDER = bytes(FRAME_HEADER.size)
 MAX_FRAME = 16 * 1024 * 1024
 
 

@@ -42,11 +42,16 @@ from repro.runtime.codec import (
     MAX_FRAME,
     decode_message,
     encode_message,
+    encode_message_into,
     encode_payload_json,
 )
 from repro.storage.recovery import recover_protocol
 
 Address = tuple[str, int]
+
+_READ_CHUNK = 256 * 1024
+"""Inbound socket read size: many frames arrive per syscall at
+saturation, and the frame parser slices them out of one buffer."""
 
 
 class _AsyncTimer(TimerHandle):
@@ -320,6 +325,23 @@ class RuntimeNode:
             return FRAME_HEADER.pack(len(payload)) + payload
         return encode_message(self.node_id, message)
 
+    def _encode_batch(self, messages: list[Message]) -> bytearray:
+        """One flush batch's frames, encoded back to back into a single
+        buffer -- the zero-copy counterpart of per-message ``_encode``
+        (no intermediate ``bytes`` per frame, no join)."""
+        out = bytearray()
+        if self.codec == "json":
+            node_id = self.node_id
+            for message in messages:
+                payload = encode_payload_json(node_id, message)
+                out += FRAME_HEADER.pack(len(payload))
+                out += payload
+        else:
+            node_id = self.node_id
+            for message in messages:
+                encode_message_into(out, node_id, message)
+        return out
+
     def enqueue(self, dst: int, messages: list[Message]) -> None:
         """Queue one flush batch for ``dst`` and kick its sender task."""
         if self._closed:
@@ -334,8 +356,7 @@ class RuntimeNode:
             return
         faults = self.wire_faults
         if faults is None:
-            frames = b"".join(self._encode(m) for m in messages)
-            self._enqueue_frames(dst, frames)
+            self._enqueue_frames(dst, self._encode_batch(messages))
             return
         # Fault shim: evaluate drop/duplicate/delay per message.  On-time
         # copies of one batch still coalesce into a single write; delayed
@@ -355,7 +376,7 @@ class RuntimeNode:
         if on_time:
             self._enqueue_frames(dst, b"".join(on_time))
 
-    def _enqueue_frames(self, dst: int, frames: bytes) -> None:
+    def _enqueue_frames(self, dst: int, frames: "bytes | bytearray") -> None:
         if self._closed:
             return
         queue = self._outgoing.setdefault(dst, [])
@@ -368,8 +389,16 @@ class RuntimeNode:
             self._senders[dst] = asyncio.ensure_future(self._drain_outgoing(dst))
 
     async def _drain_outgoing(self, dst: int) -> None:
-        """Single writer for ``dst``: coalesce the queued frames into one
-        write, await ``drain()`` for backpressure, repeat until empty."""
+        """Single writer for ``dst``: hand everything queued to the
+        transport in one writev-style ``writelines`` call, then await
+        ``drain()`` exactly once per coalesced flush.
+
+        One drain per flush -- never per frame or per batch -- is what
+        keeps a deep pipeline moving: the sender only parks when the
+        transport's buffer is genuinely over the high-water mark, not
+        once per message it wrote.  ``writelines`` hands the frame
+        buffers to the transport as-is (uvloop turns this into a real
+        ``writev``), avoiding a second copy of the whole backlog."""
         while not self._closed:
             pending = self._outgoing.get(dst)
             if not pending:
@@ -388,9 +417,11 @@ class RuntimeNode:
                     writer.close()
                     return
                 self._writers[dst] = writer
-            data = b"".join(self._outgoing[dst])
             self._outgoing[dst] = []
-            writer.write(data)
+            if len(pending) == 1:
+                writer.write(pending[0])
+            else:
+                writer.writelines(pending)
             try:
                 await writer.drain()
             except (ConnectionResetError, OSError):
@@ -405,17 +436,41 @@ class RuntimeNode:
     async def _on_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """Inbound frame pump, zero-copy: read whatever the socket has
+        (many frames per syscall at saturation), then slice complete
+        frames out of the buffer as memoryviews -- no ``readexactly``
+        pair per frame, no payload copy before decode.  A partial frame
+        stays buffered for the next read."""
         self._inbound.add(writer)
+        buffer = bytearray()
+        header_size = FRAME_HEADER.size
         try:
             while not self._closed:
-                header = await reader.readexactly(FRAME_HEADER.size)
-                (size,) = FRAME_HEADER.unpack(header)
-                if size > MAX_FRAME:
-                    raise ValueError(f"oversized frame: {size}")
-                payload = await reader.readexactly(size)
-                sender, message = decode_message(payload)
-                self._dispatch(sender, message)
-        except (asyncio.IncompleteReadError, ConnectionResetError):
+                chunk = await reader.read(_READ_CHUNK)
+                if not chunk:
+                    break  # clean EOF (mid-frame leftovers are dropped)
+                buffer += chunk
+                end = len(buffer)
+                pos = 0
+                view = memoryview(buffer)
+                try:
+                    while end - pos >= header_size:
+                        (size,) = FRAME_HEADER.unpack_from(view, pos)
+                        if size > MAX_FRAME:
+                            raise ValueError(f"oversized frame: {size}")
+                        start = pos + header_size
+                        if end - start < size:
+                            break
+                        sender, message = decode_message(view[start : start + size])
+                        pos = start + size
+                        self._dispatch(sender, message)
+                finally:
+                    # The view must be released before the bytearray can
+                    # be resized below.
+                    view.release()
+                if pos:
+                    del buffer[:pos]
+        except ConnectionResetError:
             pass
         except asyncio.CancelledError:
             # Server shut down while this handler was awaiting a frame.

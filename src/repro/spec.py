@@ -50,15 +50,19 @@ class ClusterSpec:
     ``m2`` carries the M2Paxos tunables (ignored by other protocols);
     ``None`` means the protocol's defaults.  ``network`` and ``cpu``
     only affect the simulator (the runtime runs on real wires and
-    cores); ``codec`` only affects the runtime (the simulator never
-    serialises unless ``network.frame_sizes == "codec"``).  ``storage``
-    applies to both.
+    cores); ``codec`` and ``uvloop`` only affect the runtime (the
+    simulator never serialises unless ``network.frame_sizes ==
+    "codec"``, and has no event loop to swap).  ``uvloop=True`` asks
+    for uvloop's C event loop and silently falls back to stock asyncio
+    when the package is not installed -- an accelerator knob, never a
+    dependency.  ``storage`` applies to both substrates.
     """
 
     protocol: str = "m2paxos"
     n_nodes: int = 3
     seed: int = 0
     codec: str = "binary"
+    uvloop: bool = False
     network: NetworkConfig = field(default_factory=NetworkConfig)
     cpu: CpuConfig = field(default_factory=CpuConfig)
     m2: Optional[M2PaxosConfig] = None
@@ -139,6 +143,8 @@ class ClusterSpec:
         for name in ("n_nodes", "seed"):
             if name in data:
                 kwargs[name] = _scalar(name, data[name], int)
+        if "uvloop" in data:
+            kwargs["uvloop"] = _scalar("uvloop", data["uvloop"], bool)
         if "network" in data:
             kwargs["network"] = _section(
                 "network", data["network"], NetworkConfig, excluded=("latency",)

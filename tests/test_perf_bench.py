@@ -27,6 +27,8 @@ MICRO = PerfConfig(
     bench_duration=0.06,
     bench_warmup=0.12,
     runtime_commands=45,
+    saturation_depths=(1, 8),
+    saturation_commands=45,
     smoke=True,
 )
 
@@ -127,6 +129,69 @@ def test_check_regressions_trips_on_slow_fsync_batching():
     problems = check_regressions(datapoint)
     assert len(problems) == 1
     assert "fsync" in problems[0]
+
+
+def test_runtime_saturation_schema():
+    datapoint = run_perf(MICRO, only=["runtime_saturation"])
+    saturation = datapoint["results"]["runtime_saturation"]
+    assert set(saturation["depths"]) == {
+        str(d) for d in MICRO.saturation_depths
+    }
+    for entry in saturation["depths"].values():
+        assert entry["commands_per_sec"] > 0
+        assert entry["wall_seconds"] > 0
+        assert entry["peak_inflight"] >= 1
+    assert saturation["serial_depth"] == min(MICRO.saturation_depths)
+    assert str(saturation["best_depth"]) in saturation["depths"]
+    assert saturation["pipelined_speedup"] > 0
+    # Micro scale is too noisy to assert the CI floor here; the smoke
+    # run enforces it.  uvloop was not requested, so the flag is False.
+    assert saturation["uvloop"] is False
+
+
+def test_check_regressions_trips_on_slow_pipelining():
+    datapoint = {
+        "results": {
+            "runtime_saturation": {
+                "pipelined_speedup": 1.1,
+                "best_depth": 16,
+            }
+        }
+    }
+    problems = check_regressions(datapoint)
+    assert len(problems) == 1
+    assert "pipelined" in problems[0]
+
+
+def test_sim_runtime_gap_datapoint():
+    datapoint = run_perf(MICRO, only=["m2_batching", "runtime_tcp"])
+    gap = datapoint["results"]["sim_runtime_gap"]
+    assert gap["sim_commands_per_sec"] > 0
+    assert gap["runtime_commands_per_sec"] > 0
+    assert gap["gap_ratio"] == pytest.approx(
+        gap["sim_commands_per_sec"] / gap["runtime_commands_per_sec"]
+    )
+    # The gap entry joins the datapoint's identity key, so reruns of the
+    # same bench set still dedupe.
+    assert "sim_runtime_gap" in datapoint["results"]
+
+
+def test_gap_prefers_saturation_and_needs_both_sides():
+    from repro.bench.perf import sim_runtime_gap
+
+    assert sim_runtime_gap({}) is None
+    assert sim_runtime_gap({"m2_batching": {"batched": {}}}) is None
+    assert (
+        sim_runtime_gap({"runtime_tcp": {"commands_per_sec": 100.0}}) is None
+    )
+    both = {
+        "m2_batching": {"batched": {"commands_per_sec": 1000.0}},
+        "runtime_tcp": {"commands_per_sec": 100.0},
+        "runtime_saturation": {"best_commands_per_sec": 500.0},
+    }
+    gap = sim_runtime_gap(both)
+    assert gap["runtime_commands_per_sec"] == 500.0
+    assert gap["gap_ratio"] == 2.0
 
 
 def test_config_hash_stable_and_config_sensitive():
