@@ -129,19 +129,42 @@ def build_workload(spec: PointSpec, rng: RngRegistry):
     raise ValueError(f"unknown workload {spec.workload!r}")
 
 
-def run_point(
-    spec: PointSpec, record_spans: bool = False, costs=None
-) -> RunResult:
-    """Simulate one datapoint and return its measurements.
+@dataclass
+class RunHandle:
+    """A fully built but not-yet-started sim run.
 
-    With ``record_spans`` the run also keeps the full span log; the
-    attached observability collector rides along in
-    ``result.extra["obs"]`` for the trace exporters.  ``costs``
-    optionally replaces the protocol's CPU-cost profile (see
-    :func:`protocol_factory`).
+    ``repro top`` steps the cluster interval-by-interval between screen
+    refreshes; :func:`run_point` drives it start-to-finish.  Either way
+    the pieces (cluster, workload, collector, clients) are assembled
+    once, here.
     """
-    if fast_mode():
-        spec = spec.scaled_for_fast_mode()
+
+    spec: PointSpec
+    cluster: Cluster
+    workload: object
+    collector: MetricsCollector
+    clients: OpenLoopClients
+
+    def start(self) -> None:
+        self.cluster.start()
+        self.clients.start()
+
+    def finish(self) -> RunResult:
+        self.clients.stop()
+        self.cluster.check_consistency()
+        result = self.collector.result()
+        result.extra["protocol_stats"] = [
+            dict(node.protocol.stats) for node in self.cluster.nodes
+        ]
+        result.extra["obs"] = self.collector.obs
+        self.cluster.close_storage()
+        return result
+
+
+def build_run(
+    spec: PointSpec, record_spans: bool = False, costs=None
+) -> RunHandle:
+    """Assemble cluster + workload + collector + clients for ``spec``."""
     network = NetworkConfig(
         latency=GaussianLatency(spec.latency_mean, spec.latency_stddev),
         batching=spec.batching,
@@ -190,20 +213,52 @@ def run_point(
         ),
         collector=collector,
     )
-    cluster.start()
-    clients.start()
+    return RunHandle(
+        spec=spec,
+        cluster=cluster,
+        workload=workload,
+        collector=collector,
+        clients=clients,
+    )
+
+
+def run_point(
+    spec: PointSpec,
+    record_spans: bool = False,
+    costs=None,
+    telemetry_interval: Optional[float] = None,
+) -> RunResult:
+    """Simulate one datapoint and return its measurements.
+
+    With ``record_spans`` the run also keeps the full span log; the
+    attached observability collector rides along in
+    ``result.extra["obs"]`` for the trace exporters.  ``costs``
+    optionally replaces the protocol's CPU-cost profile (see
+    :func:`protocol_factory`).  ``telemetry_interval`` additionally
+    attaches the live-telemetry sampler at that cadence; the
+    ``Telemetry`` handle rides along in ``result.extra["telemetry"]``.
+    Sampler callbacks only read, so decision logs are unchanged.
+    """
+    if fast_mode():
+        spec = spec.scaled_for_fast_mode()
+    handle = build_run(spec, record_spans=record_spans, costs=costs)
+    cluster, collector = handle.cluster, handle.collector
+    telemetry = None
+    if telemetry_interval is not None:
+        from repro.obs.telemetry import Telemetry
+
+        telemetry = Telemetry(cluster, interval=telemetry_interval)
+        telemetry.start()
+    handle.start()
     cluster.run_for(spec.warmup)
     collector.begin_window()
     cluster.run_for(spec.duration)
     collector.end_window()
-    clients.stop()
-    cluster.check_consistency()
-    result = collector.result()
-    result.extra["protocol_stats"] = [
-        dict(node.protocol.stats) for node in cluster.nodes
-    ]
-    result.extra["obs"] = collector.obs
-    cluster.close_storage()
+    if telemetry is not None:
+        telemetry.stop()
+    result = handle.finish()
+    if telemetry is not None:
+        result.extra["telemetry"] = telemetry
     return result
 
 

@@ -15,7 +15,10 @@ def format_table(
         for col in columns:
             value = row.get(col, "")
             if isinstance(value, float):
-                line.append(f"{value:,.1f}" if value >= 10 else f"{value:.3f}")
+                if value != value:  # NaN (e.g. p99 of a single-sample path)
+                    line.append("-")
+                else:
+                    line.append(f"{value:,.1f}" if value >= 10 else f"{value:.3f}")
             elif isinstance(value, int):
                 line.append(f"{value:,}")
             else:

@@ -74,6 +74,10 @@ class ChaosResult:
     dropped: int = 0
     duplicated: int = 0
     faults_observed: int = 0
+    # Live-telemetry handle when the run was sampled (see
+    # ``run_scenario``'s ``telemetry_interval``); frames and health
+    # events ride along for inspection.
+    telemetry: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -132,6 +136,7 @@ def run_scenario(
     scenario: Scenario,
     config: Optional[M2PaxosConfig] = None,
     storage: Optional[StorageConfig] = None,
+    telemetry_interval: Optional[float] = None,
 ) -> ChaosResult:
     """Execute ``scenario`` once and check it; never raises on a safety
     failure -- violations land in the returned report.  ``config``
@@ -140,7 +145,10 @@ def run_scenario(
     scenario's storage shape (the CLI reruns the durable suite on real
     disk).  A ``kind="disk"`` config gets a fresh per-run directory
     (under its ``dir`` when set, else the system tmpdir), removed when
-    the run finishes."""
+    the run finishes.  ``telemetry_interval`` additionally attaches the
+    live-telemetry sampler at that virtual-clock cadence (frames, fault
+    stamps, health events on ``result.telemetry``); sampler callbacks
+    only read, so the fingerprint is unchanged for a given seed."""
     plan = scenario.plan
     protocol_config = config if config is not None else _CHAOS_M2
     storage_config = storage if storage is not None else scenario.storage
@@ -162,20 +170,33 @@ def run_scenario(
     )
     cluster = Cluster.from_spec(spec)
     try:
-        return _run_scenario(scenario, cluster)
+        return _run_scenario(
+            scenario, cluster, telemetry_interval=telemetry_interval
+        )
     finally:
         cluster.close_storage()
         if tmpdir is not None:
             shutil.rmtree(tmpdir, ignore_errors=True)
 
 
-def _run_scenario(scenario: Scenario, cluster: Cluster) -> ChaosResult:
+def _run_scenario(
+    scenario: Scenario,
+    cluster: Cluster,
+    telemetry_interval: Optional[float] = None,
+) -> ChaosResult:
     plan = scenario.plan
     faults: Optional[WireFaults] = None
     if plan.has_wire_faults:
         faults = WireFaults(plan, scenario.seed)
         cluster.network.injector = faults
     obs = ObsCollector.for_cluster(cluster, record_spans=True)
+    telemetry = None
+    if telemetry_interval is not None:
+        from repro.obs.telemetry import Telemetry
+
+        telemetry = Telemetry(cluster, interval=telemetry_interval)
+        telemetry.subscribe_protocols()
+        telemetry.start()
     extra_violations: list[str] = []
     cluster.start()
 
@@ -228,6 +249,12 @@ def _run_scenario(scenario: Scenario, cluster: Cluster) -> ChaosResult:
         cluster.run_until(horizon)
     except (SafetyViolation, ConsistencyViolation) as exc:
         extra_violations.append(f"safety alarm during run: {exc}")
+    finally:
+        if telemetry is not None:
+            # Cut a final partial frame, then cancel the repeating
+            # timer so the heap can drain.
+            telemetry.final_sample()
+            telemetry.stop()
 
     # Crash quiescence: no handler or wire span may start inside a
     # crash window.  (Timers and CPU completions charged to the dead
@@ -281,4 +308,5 @@ def _run_scenario(scenario: Scenario, cluster: Cluster) -> ChaosResult:
         + cluster.network.messages_dropped,
         duplicated=faults.duplicated if faults else 0,
         faults_observed=len(obs.faults),
+        telemetry=telemetry,
     )

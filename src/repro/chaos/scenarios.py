@@ -145,6 +145,17 @@ SCENARIOS: list[Scenario] = [
         settle=5.0,
         description="repeated crash-restart cycles, durable then amnesia",
     ),
+    Scenario(
+        name="contention-storm",
+        plan=NO_FAULTS,
+        seed=25,
+        objects=2,
+        locality=0.0,
+        multi=0.3,
+        description="no faults; every node hammers two shared objects, "
+        "driving the acquisition path (the HealthDetector's contention "
+        "regime)",
+    ),
     # ------------------------------------------------------------------
     # Durable-storage scenarios: each node runs a real segmented log
     # (in-memory by default so the suite stays deterministic; the CLI

@@ -6,6 +6,8 @@ Usage::
     python -m repro run --protocol epaxos --workload tpcc --remote 0.15
     python -m repro compare --nodes 5
     python -m repro trace --protocol m2paxos --out trace.json
+    python -m repro top --protocol m2paxos --duration 1.0
+    python -m repro top --runtime --commands 2000
     python -m repro figures fig1 [--full]
     python -m repro modelcheck [--ballots 2]
     python -m repro chaos [--smoke | --list | NAME ...]
@@ -80,6 +82,11 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cores", type=int, default=16)
     parser.add_argument("--saturate", action="store_true",
                         help="drive to saturation (max-throughput methodology)")
+    parser.add_argument(
+        "--telemetry-interval", type=float, default=None,
+        help="live-telemetry sampling cadence in virtual seconds "
+             "(default: duration/4)",
+    )
     _add_storage_args(parser)
 
 
@@ -141,30 +148,183 @@ def _path_rows(result) -> list[dict]:
 _PATH_COLUMNS = ["path", "count", "share%", "p50_ms", "p99_ms"]
 
 
+def _telemetry_interval(args, spec) -> float:
+    if args.telemetry_interval is not None:
+        return args.telemetry_interval
+    return max(spec.duration / 4.0, 0.02)
+
+
+def _final_frame(telemetry):
+    """The last interval frame that saw decides (else the last frame)."""
+    frames = list(telemetry.frames)
+    if not frames:
+        return None
+    active = [f for f in frames if f.decides]
+    return (active or frames)[-1]
+
+
+def _telemetry_frame_row(protocol: str, telemetry) -> dict | None:
+    from repro.obs.telemetry.top import frame_row
+
+    frame = _final_frame(telemetry)
+    if frame is None:
+        return None
+    row = {"protocol": protocol}
+    row.update(frame_row(frame))
+    return row
+
+
+_TELEMETRY_COLUMNS = [
+    "protocol", "t", "cps", "fast%", "p50ms", "p99ms",
+    "inflight", "outbox", "fsyncs", "churn",
+]
+
+
+def _print_telemetry(protocol: str, result) -> None:
+    telemetry = result.extra.get("telemetry")
+    if telemetry is None:
+        return
+    row = _telemetry_frame_row(protocol, telemetry)
+    if row is None:
+        return
+    print_table("telemetry (final interval frame)", [row], _TELEMETRY_COLUMNS)
+    for event in telemetry.events:
+        details = ", ".join(
+            f"{k}={v:.3g}" for k, v in sorted(event.details.items())
+        )
+        print(f"health: [{event.at:.2f}] {event.kind} ({details})")
+
+
 def cmd_run(args) -> int:
     spec = _spec_from_args(args, args.protocol)
-    result = run_point(spec)
+    result = run_point(
+        spec, telemetry_interval=_telemetry_interval(args, spec)
+    )
     print_table(
         f"{args.protocol} / {args.workload} / {args.nodes} nodes",
         [_row(args.protocol, result)],
         _RUN_COLUMNS,
     )
     print_table("decision paths", _path_rows(result), _PATH_COLUMNS)
+    _print_telemetry(args.protocol, result)
     return 0
 
 
 def cmd_compare(args) -> int:
     rows = []
+    telemetry_rows = []
     for protocol in PROTOCOLS:
-        result = run_point(_spec_from_args(args, protocol))
+        spec = _spec_from_args(args, protocol)
+        result = run_point(
+            spec, telemetry_interval=_telemetry_interval(args, spec)
+        )
         rows.append(_row(protocol, result))
+        telemetry = result.extra.get("telemetry")
+        if telemetry is not None:
+            telemetry_row = _telemetry_frame_row(protocol, telemetry)
+            if telemetry_row is not None:
+                telemetry_rows.append(telemetry_row)
     rows.sort(key=lambda row: -row["throughput"])
     print_table(
         f"all protocols / {args.workload} / {args.nodes} nodes",
         rows,
         _RUN_COLUMNS,
     )
+    if telemetry_rows:
+        print_table(
+            "telemetry (final interval frame per protocol)",
+            telemetry_rows,
+            _TELEMETRY_COLUMNS,
+        )
     return 0
+
+
+def cmd_top(args) -> int:
+    """Live refreshing telemetry table, sim or runtime."""
+    if args.runtime:
+        return _top_runtime(args)
+
+    import math
+
+    from repro.bench.harness import build_run, fast_mode
+    from repro.obs.telemetry import Telemetry, render_screen
+
+    spec = _spec_from_args(args, args.protocol)
+    if fast_mode():
+        spec = spec.scaled_for_fast_mode()
+    interval = args.interval
+    handle = build_run(spec)
+    telemetry = Telemetry(handle.cluster, interval=interval)
+    telemetry.subscribe_protocols()
+    telemetry.start()
+    handle.start()
+    total = spec.warmup + spec.duration
+    for _ in range(max(1, math.ceil(total / interval))):
+        handle.cluster.run_for(interval)
+        print(
+            render_screen(
+                telemetry.frames,
+                telemetry.events,
+                history=args.history,
+                title=f"repro top — sim {args.protocol} ({args.nodes} nodes)",
+            )
+        )
+    telemetry.stop()
+    handle.clients.stop()
+    if args.jsonl:
+        count = telemetry.sampler.write_jsonl(args.jsonl)
+        print(f"frames: {args.jsonl} ({count} intervals)")
+    return 0
+
+
+def _top_runtime(args) -> int:
+    """`repro top --runtime`: a real asyncio cluster under pipelined
+    load, sampled on the wall clock, Prometheus endpoint per node."""
+    import asyncio
+
+    from repro.bench.harness import protocol_factory
+    from repro.bench.perf import SATURATION_M2
+    from repro.consensus.commands import Command
+    from repro.obs.telemetry import render_screen
+    from repro.runtime.cluster import LocalCluster, run
+    from repro.runtime.driver import PipelineDriver
+
+    async def main() -> int:
+        cluster = LocalCluster(
+            args.nodes, protocol_factory("m2paxos", **SATURATION_M2)
+        )
+        await cluster.start()
+        telemetry = await cluster.start_telemetry(
+            interval=args.interval, serve=True
+        )
+        for node in cluster.nodes:
+            host, port = node.metrics_address
+            print(f"node {node.node_id} metrics: http://{host}:{port}/metrics")
+        driver = PipelineDriver(cluster, depth=16)
+        n = args.nodes
+        proposals = (
+            (i % n, Command.make(i % n, i + 1, [f"top-{i % n}"]))
+            for i in range(args.commands)
+        )
+        task = asyncio.ensure_future(driver.run(proposals, timeout=60.0))
+        while not task.done():
+            await asyncio.sleep(args.interval)
+            print(
+                render_screen(
+                    telemetry.frames,
+                    telemetry.events,
+                    history=args.history,
+                    title=f"repro top — runtime m2paxos ({n} nodes)",
+                )
+            )
+        await task
+        if args.jsonl:
+            count = telemetry.sampler.write_jsonl(args.jsonl)
+            print(f"frames: {args.jsonl} ({count} intervals)")
+        await cluster.stop()
+        return 0
+
+    return run(main(), uvloop=False)
 
 
 def cmd_trace(args) -> int:
@@ -332,6 +492,14 @@ def cmd_perf(args) -> int:
                      "value": results["storage_fsync"]["batched_fsync_records_per_sec"]})
         rows.append({"bench": "fsync batching speedup",
                      "value": results["storage_fsync"]["speedup"]})
+    if "telemetry_overhead" in results:
+        telemetry = results["telemetry_overhead"]
+        rows.append({"bench": "telemetry-off cmds/sec",
+                     "value": telemetry["off"]["commands_per_sec"]})
+        rows.append({"bench": "telemetry-on cmds/sec",
+                     "value": telemetry["on"]["commands_per_sec"]})
+        rows.append({"bench": "telemetry overhead ratio",
+                     "value": telemetry["overhead_ratio"]})
     print_table(f"perf ({', '.join(results) or 'none'})", rows, ["bench", "value"])
     print(f"datapoint: {path}")
 
@@ -387,6 +555,34 @@ def main(argv=None) -> int:
     )
     trace_parser.set_defaults(fn=cmd_trace)
 
+    top_parser = sub.add_parser(
+        "top", help="live refreshing telemetry table (sim or runtime)"
+    )
+    top_parser.add_argument("--protocol", choices=PROTOCOLS, default="m2paxos")
+    _add_run_args(top_parser)
+    top_parser.add_argument(
+        "--interval", type=float, default=0.1,
+        help="sampling + refresh cadence in seconds (virtual for sim, "
+             "wall for --runtime)",
+    )
+    top_parser.add_argument(
+        "--history", type=int, default=10,
+        help="interval rows kept on screen",
+    )
+    top_parser.add_argument(
+        "--runtime", action="store_true",
+        help="drive a real asyncio cluster under pipelined load and "
+             "serve per-node Prometheus /metrics endpoints",
+    )
+    top_parser.add_argument(
+        "--commands", type=int, default=2000,
+        help="--runtime only: proposals to pump through the pipeline",
+    )
+    top_parser.add_argument(
+        "--jsonl", default=None, help="also export interval frames as JSONL"
+    )
+    top_parser.set_defaults(fn=cmd_top)
+
     figures_parser = sub.add_parser("figures", help="regenerate paper figures")
     figures_parser.add_argument("names", nargs="*", default=["all"])
     figures_parser.add_argument("--full", action="store_true")
@@ -426,7 +622,8 @@ def main(argv=None) -> int:
     perf_parser.add_argument(
         "benches", nargs="*",
         help="subset to run: sim codec m2_batching runtime_tcp "
-             "runtime_saturation storage_fsync (default: all)",
+             "runtime_saturation storage_fsync telemetry_overhead "
+             "(default: all)",
     )
     perf_parser.add_argument("--seed", type=int, default=1)
     perf_parser.add_argument(

@@ -280,7 +280,30 @@ class EnvObserver:
     (``path`` / ``quorum`` / ``decide`` / ``epoch_bump`` /
     ``owner_handoff`` / ``outbox_depth``).  The span layer in
     :mod:`repro.obs` is built entirely on this interface.
+
+    Two class attributes let an observer *decline* traffic it would
+    ignore, because at saturation the cost of observability is
+    dominated by the sheer number of observer calls per command, not
+    by what the hooks do:
+
+    - ``note_kinds``: the set of note kinds this observer consumes, or
+      ``None`` for all of them.  :meth:`Env.observe` dispatches each
+      kind only to observers subscribed to it, so a high-frequency
+      note an observer would discard costs it nothing.
+    - ``wants_handler_timing``: when no attached observer wants it,
+      :meth:`Dispatcher.on_message` skips the enter/exit bracket and
+      its two clock reads entirely.
+    - ``deliver_scope``: ``"all"`` sees every application delivery;
+      ``"proposer"`` only deliveries of commands this node proposed
+      (the client-visible completions).  An observer that derives
+      per-node delivery totals by other means (e.g. pulling the
+      substrate's own delivery log at sampling time) declares
+      ``"proposer"`` and skips two thirds of the fan-out.
     """
+
+    note_kinds: Optional[frozenset] = None
+    wants_handler_timing: bool = True
+    deliver_scope: str = "all"
 
     def on_propose(self, node_id: int, command: Command) -> None: ...
 
@@ -332,6 +355,13 @@ class Env(ABC):
     _flush_hooks: Optional[list[FlushHook]] = None
     _observers: Optional[list[EnvObserver]] = None
     _pending_deliveries: Optional[list[Command]] = None
+    # Derived observer routing, rebuilt whenever the observer list
+    # changes: note kind -> subscribed observers (lazily per kind), and
+    # the subset of observers that want handler CPU timing.
+    _note_subs: Optional[dict] = None
+    _timing_observers: Optional[list[EnvObserver]] = None
+    _deliver_all: Optional[list[EnvObserver]] = None
+    _deliver_proposer: Optional[list[EnvObserver]] = None
 
     @property
     def nodes(self) -> range:
@@ -451,21 +481,64 @@ class Env(ABC):
         if self._observers is None:
             self._observers = []
         self._observers.append(observer)
+        self._observers_changed()
 
     def remove_observer(self, observer: EnvObserver) -> None:
         if self._observers and observer in self._observers:
             self._observers.remove(observer)
+            self._observers_changed()
+
+    def _observers_changed(self) -> None:
+        """Rebuild the derived routing after an attach/detach.
+
+        ``getattr`` defaults keep duck-typed observers (tests often
+        attach bare objects) on the everything-subscribed behaviour."""
+        self._note_subs = None
+        timing = [
+            o
+            for o in self._observers
+            if getattr(o, "wants_handler_timing", True)
+        ]
+        self._timing_observers = timing or None
+        self._deliver_all = [
+            o
+            for o in self._observers
+            if getattr(o, "deliver_scope", "all") == "all"
+        ]
+        proposer = [
+            o
+            for o in self._observers
+            if getattr(o, "deliver_scope", "all") == "proposer"
+        ]
+        self._deliver_proposer = proposer or None
 
     def observe(self, kind: str, **fields) -> None:
-        """Emit one structured note to every attached observer.
+        """Emit one structured note to the observers subscribed to it.
 
         This is the channel protocols use to report what generic hooks
         cannot see: decision-path classifications, quorum/decide
         milestones, epoch bumps, ownership handoffs.  Free when no
-        observer is attached."""
-        if self._observers:
-            for observer in self._observers:
-                observer.on_note(self.node_id, kind, fields)
+        observer is attached.  Observers declaring ``note_kinds`` are
+        skipped for kinds outside their set -- under saturation most
+        note traffic is high-frequency kinds (``decide``, ``quorum``)
+        that only the trace layer wants, so the per-kind subscriber
+        list keeps live metrics from paying for tracing's appetite."""
+        observers = self._observers
+        if not observers:
+            return
+        subs_map = self._note_subs
+        if subs_map is None:
+            subs_map = self._note_subs = {}
+        subs = subs_map.get(kind)
+        if subs is None:
+            subs = subs_map[kind] = [
+                o
+                for o in observers
+                if (kinds := getattr(o, "note_kinds", None)) is None
+                or kind in kinds
+            ]
+        for observer in subs:
+            observer.on_note(self.node_id, kind, fields)
 
     def observe_propose(self, command: Command) -> None:
         """Called by the hosting node at C-PROPOSE submission time."""
@@ -511,10 +584,16 @@ class Env(ABC):
 
     def _do_deliver(self, command: Command) -> None:
         """Observer fan-out + substrate hand-off (shared by both the
-        immediate and the deferred-release delivery paths)."""
+        immediate and the deferred-release delivery paths).  Observers
+        scoped to proposer deliveries are skipped for the replicated
+        copies (see :attr:`EnvObserver.deliver_scope`)."""
         if self._observers:
-            for observer in self._observers:
+            for observer in self._deliver_all:
                 observer.on_deliver(self.node_id, command)
+            proposer_subs = self._deliver_proposer
+            if proposer_subs is not None and command.proposer == self.node_id:
+                for observer in proposer_subs:
+                    observer.on_deliver(self.node_id, command)
         self._deliver(command)
 
     @abstractmethod
@@ -565,15 +644,18 @@ class Dispatcher:
     def on_message(self, sender: int, message: Message) -> None:
         """Route ``message`` to its registered handler.
 
-        When observers are attached to the bound env, the handler is
+        When an attached observer wants handler timing
+        (:attr:`EnvObserver.wants_handler_timing`), the handler is
         bracketed with entry/exit notifications carrying the measured
         Python CPU time -- the per-handler attribution the obs layer
-        aggregates.  Without observers this is a plain table lookup."""
+        aggregates.  Otherwise this is a plain table lookup: observers
+        that fold events into counters have no use for the bracket, so
+        they should not pay for its two clock reads per message."""
         handler = self.dispatch_table.get(type(message))
         if handler is None:
             raise TypeError(f"unexpected message: {message!r}")
         env = getattr(self, "env", None)
-        observers = env._observers if env is not None else None
+        observers = env._timing_observers if env is not None else None
         if not observers:
             handler(self, sender, message)
             return
@@ -631,8 +713,15 @@ class Protocol(Dispatcher, ABC):
         ``"acquisition"`` (see :data:`repro.obs.span.PATH_SEVERITY`);
         repeated classifications escalate, never downgrade.  Protocols
         call this next to their stats counters so the span layer and the
-        ad-hoc counters can be cross-checked against each other."""
-        if self.env is not None:
+        ad-hoc counters can be cross-checked against each other.
+
+        ``"fast"`` is never emitted: it is the default every consumer
+        assumes for a command with no path note (the span layer's
+        ``resolved_path``, the telemetry collector's pending entries),
+        and under a healthy workload it is the classification of nearly
+        every command -- the one decision-path note worth a per-command
+        emission is the exception, not the rule."""
+        if path != "fast" and self.env is not None:
             self.env.observe("path", cid=command.cid, path=path, hops=hops)
 
     def processing_cost(self, message: Optional[Message]) -> tuple[float, float]:

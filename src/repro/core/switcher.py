@@ -99,6 +99,12 @@ class _SubEnv(Env):
     def _deliver(self, command: Command) -> None:
         self._switcher._on_sub_deliver(self._mode, command)
 
+    def observe(self, kind: str, **fields) -> None:
+        # Forward structured notes (path / decide / epoch_bump / ...) to
+        # the *outer* env, where observers are attached -- without this,
+        # sub-protocol decision paths are invisible to the obs layer.
+        self._switcher.env.observe(kind, **fields)
+
     @property
     def rng(self):
         return self._switcher.env.rng
@@ -133,7 +139,7 @@ class AdaptiveSwitcher(Protocol):
         # Locality proxy while in Multi-Paxos mode: when another node's
         # command last touched each object (from the delivered stream).
         self._foreign_touch: dict[str, float] = {}
-        self.stats = {"switches": 0, "votes_sent": 0}
+        self.stats = {"switches": 0, "votes_sent": 0, "health_events": 0}
 
     # ------------------------------------------------------------------
 
@@ -218,6 +224,28 @@ class AdaptiveSwitcher(Protocol):
             return
         self.stats["votes_sent"] += 1
         self.env.send(self.coordinator, SwitchVote(want=want, conflict_rate=rate))
+
+    def on_health_event(self, event) -> None:
+        """Consume a live-telemetry :class:`HealthEvent`.
+
+        The :class:`~repro.obs.telemetry.health.HealthDetector` sees the
+        whole cluster's decision paths per interval, so a ``contention``
+        event is direct evidence of the acquisition-path regime -- vote
+        to fall back to Multi-Paxos immediately instead of waiting for a
+        full local sample window.  Dwell hysteresis still applies, and
+        the coordinator still decides through the current mode's
+        consensus, so the handover stays linearizable.
+        """
+        self.stats["health_events"] += 1
+        if event.kind != "contention" or self.mode != MODE_M2:
+            return
+        if self.env.now() - self._last_switch_at < self.config.min_dwell:
+            return
+        rate = float(event.details.get("acquisition_ratio", 1.0))
+        self.stats["votes_sent"] += 1
+        self.env.send(
+            self.coordinator, SwitchVote(want=MODE_MP, conflict_rate=rate)
+        )
 
     @handles(SwitchVote)
     def _on_vote(self, sender: int, msg: SwitchVote) -> None:

@@ -17,7 +17,12 @@ protocols' structured notes (``path`` / ``quorum`` / ``decide`` /
   node performed *zero* transitions while down (no handler or wire
   span may fall inside a crash window);
 - optionally (``record_spans=True``) a full span log for the Chrome
-  trace exporter.
+  trace exporter.  Span retention is opt-in *and* bounded: at most
+  ``max_spans`` spans are kept (default
+  :attr:`ObsCollector.DEFAULT_MAX_SPANS`); further spans are counted in
+  ``dropped_spans`` instead of retained, so long runs cannot exhaust
+  memory.  For unbounded-run live metrics use
+  :mod:`repro.obs.telemetry`, which never stores per-event state.
 
 The same collector attaches to a simulated cluster (virtual clock) or
 a runtime cluster (wall clock); only the :class:`~repro.obs.clock.Clock`
@@ -94,9 +99,22 @@ class OwnershipChurn:
 class ObsCollector(EnvObserver):
     """Attach to every node's Env; query after (or during) the run."""
 
-    def __init__(self, clock: Clock, record_spans: bool = False) -> None:
+    #: Default ceiling on retained spans when ``record_spans=True``.  A
+    #: saturated run emits several spans per command; 200k entries is
+    #: minutes of heavy traffic while bounding memory to tens of MB.
+    #: Spans past the cap are counted in ``dropped_spans``, not stored.
+    DEFAULT_MAX_SPANS = 200_000
+
+    def __init__(
+        self,
+        clock: Clock,
+        record_spans: bool = False,
+        max_spans: Optional[int] = None,
+    ) -> None:
         self.clock = clock
         self.record_spans = record_spans
+        self.max_spans = self.DEFAULT_MAX_SPANS if max_spans is None else max_spans
+        self.dropped_spans = 0
         self.traces: dict[Cid, CommandTrace] = {}
         self.spans: list[Span] = []
         self.handler_stats: dict[str, HandlerStats] = {}
@@ -119,15 +137,27 @@ class ObsCollector(EnvObserver):
     # ------------------------------------------------------------------
 
     @classmethod
-    def for_cluster(cls, cluster, record_spans: bool = False) -> "ObsCollector":
+    def for_cluster(
+        cls,
+        cluster,
+        record_spans: bool = False,
+        max_spans: Optional[int] = None,
+    ) -> "ObsCollector":
         """Build and attach to a sim ``Cluster`` or runtime ``LocalCluster``:
         the virtual clock when the cluster has an event loop, wall time
         otherwise."""
         loop = getattr(cluster, "loop", None)
         clock: Clock = SimClock(loop) if loop is not None else WallClock()
-        collector = cls(clock, record_spans=record_spans)
+        collector = cls(clock, record_spans=record_spans, max_spans=max_spans)
         collector.attach(cluster)
         return collector
+
+    def _add_span(self, span: Span) -> None:
+        """Retain ``span`` unless the cap is hit (then count the drop)."""
+        if len(self.spans) >= self.max_spans:
+            self.dropped_spans += 1
+            return
+        self.spans.append(span)
 
     def attach(self, cluster) -> None:
         for node in cluster.nodes:
@@ -165,7 +195,7 @@ class ObsCollector(EnvObserver):
         starts = self._handler_starts.get(node_id)
         start = starts.pop() if starts else self.clock.now()
         if self.record_spans:
-            self.spans.append(
+            self._add_span(
                 Span(
                     name=f"handle {name}",
                     category="handler",
@@ -191,7 +221,7 @@ class ObsCollector(EnvObserver):
             # covers every way a node makes progress (any transition
             # either handles an event or sends), which is what the
             # crash-quiescence audit keys off.
-            self.spans.append(
+            self._add_span(
                 Span(
                     name=f"flush x{len(queued)}",
                     category="wire",
@@ -212,7 +242,7 @@ class ObsCollector(EnvObserver):
         if node_id == trace.proposer and trace.delivered_at is None:
             trace.delivered_at = now
             if self.record_spans:
-                self.spans.append(
+                self._add_span(
                     Span(
                         name=f"cmd {command.cid[0]}.{command.cid[1]}",
                         category="command",
@@ -278,7 +308,7 @@ class ObsCollector(EnvObserver):
                 # handler/wire set the crash-quiescence audit scans: a
                 # group-commit fsync firing is I/O completing, not the
                 # node taking a protocol transition.
-                self.spans.append(
+                self._add_span(
                     Span(
                         name=kind,
                         category="storage",
@@ -303,7 +333,7 @@ class ObsCollector(EnvObserver):
             )
             if self.record_spans:
                 name = event if mode is None else f"{event} ({mode})"
-                self.spans.append(
+                self._add_span(
                     Span(
                         name=name,
                         category="fault",

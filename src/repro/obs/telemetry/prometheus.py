@@ -1,0 +1,147 @@
+"""Prometheus text-format exposition and a per-node HTTP endpoint.
+
+``render_prometheus`` turns a :class:`~repro.obs.telemetry.registry.MetricsRegistry`
+into text-format 0.0.4 output: counters and gauges one sample per child,
+histograms as cumulative ``_bucket{le=...}`` samples over the sketch's
+*non-empty* buckets plus ``+Inf``, ``_sum`` and ``_count``.  Constant
+registry labels (e.g. ``protocol``) are stamped on every sample.
+
+``MetricsServer`` is a deliberately tiny asyncio HTTP/1.0 server — just
+enough for ``curl`` and a Prometheus scraper: ``GET /metrics`` (200,
+text/plain; version=0.0.4), anything else 404.  One server per runtime
+node; all of a cluster's servers can share one registry since samples
+are labelled by ``node``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Tuple
+
+from .registry import Histogram, MetricsRegistry
+
+
+def _escape(value: object) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value != value:
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_str(pairs) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_escape(value)}"' for name, value in pairs)
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    const = tuple(registry.const_labels.items())
+    lines = []
+    for family in registry.collect():
+        lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key, instrument in family.items():
+            labels = const + tuple(zip(family.label_names, key))
+            if isinstance(instrument, Histogram):
+                sketch = instrument.sketch
+                for upper, cumulative in sketch.nonzero_buckets():
+                    bucket_labels = labels + (("le", f"{upper:.6g}"),)
+                    lines.append(
+                        f"{family.name}_bucket{_label_str(bucket_labels)} "
+                        f"{cumulative}"
+                    )
+                inf_labels = labels + (("le", "+Inf"),)
+                lines.append(
+                    f"{family.name}_bucket{_label_str(inf_labels)} {sketch.count}"
+                )
+                lines.append(
+                    f"{family.name}_sum{_label_str(labels)} "
+                    f"{_format_value(sketch.total)}"
+                )
+                lines.append(f"{family.name}_count{_label_str(labels)} {sketch.count}")
+            else:
+                lines.append(
+                    f"{family.name}{_label_str(labels)} "
+                    f"{_format_value(instrument.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Serve ``GET /metrics`` for one registry over asyncio TCP."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.address: Optional[Tuple[str, int]] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            # Drain headers until the blank line; ignore their content.
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1").split()
+            path = parts[1] if len(parts) >= 2 else ""
+            if parts and parts[0] == "GET" and path in ("/metrics", "/"):
+                body = render_prometheus(self.registry).encode("utf-8")
+                status = "200 OK"
+            else:
+                body = b"not found\n"
+                status = "404 Not Found"
+            writer.write(
+                (
+                    f"HTTP/1.0 {status}\r\n"
+                    f"Content-Type: {CONTENT_TYPE}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+            )
+            writer.write(body)
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass

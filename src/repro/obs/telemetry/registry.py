@@ -1,0 +1,237 @@
+"""Typed metric instruments with labels, behind one registry.
+
+The registry is deliberately small: three instrument kinds (Counter,
+Gauge, Histogram), label support via per-family child maps keyed by label
+value tuples, and constant labels stamped on everything at exposition
+time (e.g. ``protocol="m2paxos"``).  All instruments are bounded-memory:
+counters and gauges are one float each, histograms are fixed-bucket
+``LogSketch`` instances.
+
+This is not a Prometheus client library clone — only what the sampler,
+the exposition endpoint, and the detectors need.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from .sketch import LATENCY_HIGH, LATENCY_LOW, LogSketch
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value that can move both ways."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Sketch-backed distribution; quantiles cost O(buckets)."""
+
+    __slots__ = ("sketch",)
+
+    def __init__(
+        self,
+        low: float = LATENCY_LOW,
+        high: float = LATENCY_HIGH,
+        growth: Optional[float] = None,
+    ) -> None:
+        if growth is None:
+            self.sketch = LogSketch(low, high)
+        else:
+            self.sketch = LogSketch(low, high, growth)
+
+    def observe(self, value: float) -> None:
+        self.sketch.observe(value)
+
+    @property
+    def count(self) -> int:
+        return self.sketch.count
+
+    @property
+    def total(self) -> float:
+        return self.sketch.total
+
+    def quantile(self, q: float) -> float:
+        return self.sketch.quantile(q)
+
+
+class MetricFamily:
+    """All children (label combinations) of one named metric."""
+
+    __slots__ = ("name", "help", "kind", "label_names", "children", "_hist_args")
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        label_names: Tuple[str, ...],
+        hist_args: Optional[Tuple[float, float, Optional[float]]] = None,
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.label_names = label_names
+        self.children: Dict[Tuple, object] = {}
+        self._hist_args = hist_args
+
+    def _make(self):
+        if self.kind == "counter":
+            return Counter()
+        if self.kind == "gauge":
+            return Gauge()
+        low, high, growth = self._hist_args or (LATENCY_LOW, LATENCY_HIGH, None)
+        return Histogram(low, high, growth)
+
+    def child(self, *label_values):
+        """Fast-path child lookup by positional label values."""
+        if len(label_values) != len(self.label_names):
+            raise ValueError(
+                f"{self.name} takes labels {self.label_names}, got {label_values!r}"
+            )
+        key = label_values
+        instrument = self.children.get(key)
+        if instrument is None:
+            instrument = self._make()
+            self.children[key] = instrument
+        return instrument
+
+    def labels(self, **kwargs):
+        try:
+            values = tuple(kwargs[name] for name in self.label_names)
+        except KeyError as exc:
+            raise ValueError(
+                f"{self.name} requires labels {self.label_names}, missing {exc}"
+            ) from exc
+        if len(kwargs) != len(self.label_names):
+            extra = set(kwargs) - set(self.label_names)
+            raise ValueError(f"{self.name} got unknown labels {sorted(extra)}")
+        return self.child(*values)
+
+    # Convenience: a family declared without labels acts as its own child.
+    def inc(self, amount: float = 1.0) -> None:
+        self.child().inc(amount)
+
+    def set(self, value: float) -> None:
+        self.child().set(value)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.child().dec(amount)
+
+    def observe(self, value: float) -> None:
+        self.child().observe(value)
+
+    @property
+    def value(self) -> float:
+        child = self.children.get(())
+        return child.value if child is not None else 0.0
+
+    def items(self) -> Iterator[Tuple[Tuple, object]]:
+        """Children in sorted label order (stable exposition)."""
+        for key in sorted(self.children, key=lambda k: tuple(str(v) for v in k)):
+            yield key, self.children[key]
+
+    def total(self) -> float:
+        """Sum of all children (counters/gauges only)."""
+        return sum(child.value for child in self.children.values())
+
+    def totals_by(self, label: str) -> Dict[object, float]:
+        """Sum children grouped by one label's value."""
+        position = self.label_names.index(label)
+        grouped: Dict[object, float] = {}
+        for key, child in self.children.items():
+            group = key[position]
+            grouped[group] = grouped.get(group, 0.0) + child.value
+        return grouped
+
+
+class MetricsRegistry:
+    """Ordered collection of metric families plus constant labels."""
+
+    def __init__(self, const_labels: Optional[Mapping[str, str]] = None) -> None:
+        self.families: Dict[str, MetricFamily] = {}
+        self.const_labels: Dict[str, str] = dict(const_labels or {})
+        for label in self.const_labels:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+
+    def _register(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labels: Tuple[str, ...],
+        hist_args=None,
+    ) -> MetricFamily:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        existing = self.families.get(name)
+        if existing is not None:
+            if existing.kind != kind or existing.label_names != tuple(labels):
+                raise ValueError(
+                    f"metric {name} already registered as {existing.kind}"
+                    f"{existing.label_names}"
+                )
+            return existing
+        family = MetricFamily(name, help_text, kind, tuple(labels), hist_args)
+        self.families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help_text: str = "", labels: Tuple[str, ...] = ()
+    ) -> MetricFamily:
+        return self._register(name, help_text, "counter", tuple(labels))
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Tuple[str, ...] = ()
+    ) -> MetricFamily:
+        return self._register(name, help_text, "gauge", tuple(labels))
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Tuple[str, ...] = (),
+        low: float = LATENCY_LOW,
+        high: float = LATENCY_HIGH,
+        growth: Optional[float] = None,
+    ) -> MetricFamily:
+        return self._register(
+            name, help_text, "histogram", tuple(labels), (low, high, growth)
+        )
+
+    def collect(self) -> List[MetricFamily]:
+        return list(self.families.values())

@@ -1,0 +1,120 @@
+"""`repro top` rendering: live refreshing frame tables.
+
+Pure formatting — the CLI drives either a stepped sim run or a runtime
+cluster and calls :func:`render_screen` after each interval.  Output is
+plain text (ANSI clear between refreshes when attached to a TTY), built
+on the same aligned-table helper as the bench reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.bench.report import format_table
+
+from .collector import PATHS
+from .health import HealthEvent
+from .sampler import Frame
+
+CLEAR = "\x1b[2J\x1b[H"
+
+
+def _ms(seconds: float) -> float:
+    return seconds * 1e3
+
+
+def frame_row(frame: Frame) -> dict:
+    """One table row summarising a frame."""
+    row = {
+        "t": f"{frame.end:.2f}",
+        "cps": frame.throughput,
+        "fast%": frame.fast_share * 100.0,
+        "p50ms": _ms(frame.p50),
+        "p99ms": _ms(frame.p99),
+        "inflight": frame.inflight,
+        "outbox": frame.outbox_depth,
+        "fsyncs": frame.fsyncs,
+        "churn": frame.epoch_bumps,
+    }
+    if frame.faults:
+        row["faults"] = ",".join(f"{n}:{e}" for n, e in frame.faults)
+    return row
+
+
+FRAME_COLUMNS = (
+    "t",
+    "cps",
+    "fast%",
+    "p50ms",
+    "p99ms",
+    "inflight",
+    "outbox",
+    "fsyncs",
+    "churn",
+)
+
+
+def path_rows(frame: Frame) -> List[dict]:
+    rows = []
+    for path in PATHS:
+        count = frame.path_counts.get(path, 0)
+        if not count:
+            continue
+        rows.append(
+            {
+                "path": path,
+                "count": count,
+                "share%": 100.0 * count / frame.decides if frame.decides else 0.0,
+                "p50ms": _ms(frame.path_p50.get(path, float("nan"))),
+                "p99ms": _ms(frame.path_p99.get(path, float("nan"))),
+            }
+        )
+    return rows
+
+
+def render_frames(
+    frames: Sequence[Frame],
+    events: Iterable[HealthEvent] = (),
+    history: int = 10,
+    title: str = "telemetry",
+) -> str:
+    """Multi-section screen: recent frames, last-frame paths, health."""
+    lines = [f"== {title} =="]
+    window = list(frames)[-history:]
+    if not window:
+        lines.append("(no frames yet)")
+        return "\n".join(lines)
+    lines.append(format_table([frame_row(f) for f in window], FRAME_COLUMNS))
+    last = window[-1]
+    paths = path_rows(last)
+    if paths:
+        lines.append("")
+        lines.append(f"-- paths (frame {last.index}) --")
+        lines.append(
+            format_table(paths, ("path", "count", "share%", "p50ms", "p99ms"))
+        )
+    recent_events = list(events)[-5:]
+    if recent_events:
+        lines.append("")
+        lines.append("-- health --")
+        for event in recent_events:
+            details = ", ".join(
+                f"{k}={v:.3g}" for k, v in sorted(event.details.items())
+            )
+            lines.append(f"[{event.at:.2f}] {event.kind} ({details})")
+    return "\n".join(lines)
+
+
+def render_screen(
+    frames: Sequence[Frame],
+    events: Iterable[HealthEvent] = (),
+    history: int = 10,
+    title: str = "telemetry",
+    clear: Optional[bool] = None,
+) -> str:
+    import sys
+
+    if clear is None:
+        clear = sys.stdout.isatty()
+    body = render_frames(frames, events, history=history, title=title)
+    return (CLEAR + body) if clear else body

@@ -88,6 +88,7 @@ class LocalCluster:
         # Advisory: whoever owns the event loop should boot it through
         # :func:`run` with this flag (set by ``from_spec``).
         self.uvloop = False
+        self.telemetry = None
 
     @classmethod
     def from_spec(cls, spec) -> "LocalCluster":
@@ -107,9 +108,41 @@ class LocalCluster:
             await node.start()
 
     async def stop(self) -> None:
+        if self.telemetry is not None:
+            await self.stop_telemetry()
         for node in self.nodes:
             await node.stop()
         self.close_storage()
+
+    # ------------------------------------------------------------------
+    # Live telemetry
+    # ------------------------------------------------------------------
+
+    async def start_telemetry(
+        self,
+        interval: float = 0.25,
+        serve: bool = False,
+        **kwargs,
+    ):
+        """Attach live telemetry: wall-clock sampler, health detector,
+        and (``serve=True``) one Prometheus ``/metrics`` endpoint per
+        node.  All endpoints share the cluster registry (samples carry
+        ``node`` labels); each node's scrape address lands on
+        ``node.metrics_address``.  Returns the ``Telemetry`` handle."""
+        from repro.obs.telemetry import Telemetry
+
+        if self.telemetry is not None:
+            raise RuntimeError("telemetry already started")
+        self.telemetry = Telemetry(self, interval=interval, **kwargs)
+        await self.telemetry.start_runtime(serve=serve)
+        return self.telemetry
+
+    async def stop_telemetry(self) -> None:
+        if self.telemetry is None:
+            return
+        await self.telemetry.stop_runtime()
+        self.telemetry.detach()
+        self.telemetry = None
 
     def close_storage(self) -> None:
         """Release every node's storage resources (file handles)."""

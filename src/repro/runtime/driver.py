@@ -51,6 +51,12 @@ class PipelineDriver:
         self._inflight_total = 0
         self._pending: set[tuple[int, int]] = set()
         self._wake = asyncio.Event()
+        # Last per-node depth reported via the ``inflight`` note.  At a
+        # saturated window the depth is pinned to ``self.depth``, so
+        # emitting only on change turns a per-command note into a
+        # handful per run; every transition (ramp-up, drain) still
+        # reaches the telemetry gauge.
+        self._inflight_noted: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Delivery tracking
@@ -91,7 +97,10 @@ class PipelineDriver:
                 self.max_inflight = self._inflight_total
             self._pending.add(command.cid)
             self.proposed += 1
-            node.env.observe("inflight", depth=inflight[node_id])
+            depth = inflight[node_id]
+            if depth != self._inflight_noted.get(node_id):
+                self._inflight_noted[node_id] = depth
+                node.env.observe("inflight", depth=depth)
             node.propose(command)
         while inflight[node_id] > 0:
             await self._await_wake(timeout)

@@ -152,11 +152,17 @@ class RuntimeNode:
         # ``(src, dst, now)`` to the delay offsets of the copies of each
         # outbound message -- [] drops, [0.0] passes, more duplicates.
         self.wire_faults: Optional[Callable[[int, int, float], list[float]]] = None
+        # Scrape address of this node's Prometheus /metrics endpoint,
+        # stamped by LocalCluster.start_telemetry(serve=True).
+        self.metrics_address: Optional[Address] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: dict[int, asyncio.StreamWriter] = {}
         self._inbound: set[asyncio.StreamWriter] = set()
         self._outgoing: dict[int, list[bytes]] = {}
         self._senders: dict[int, asyncio.Task] = {}
+        # Last per-destination depth reported via the ``outbox_depth``
+        # note (emit-on-change; see ``_enqueue_frames``).
+        self._outbox_noted: dict[int, int] = {}
         self._timers: set[_AsyncTimer] = set()
         self._closed = False
 
@@ -356,7 +362,11 @@ class RuntimeNode:
             return
         faults = self.wire_faults
         if faults is None:
-            self._enqueue_frames(dst, self._encode_batch(messages))
+            frames = self._encode_batch(messages)
+            # Real encoded frame bytes, measured for free post-encode --
+            # telemetry's wire_bytes counter without a size estimate.
+            self.env.observe("wire_bytes", bytes=len(frames))
+            self._enqueue_frames(dst, frames)
             return
         # Fault shim: evaluate drop/duplicate/delay per message.  On-time
         # copies of one batch still coalesce into a single write; delayed
@@ -366,13 +376,17 @@ class RuntimeNode:
         loop = asyncio.get_running_loop()
         now = loop.time()
         on_time: list[bytes] = []
+        sent_bytes = 0
         for message in messages:
             frame = self._encode(message)
             for extra in faults(self.node_id, dst, now):
+                sent_bytes += len(frame)
                 if extra <= 0:
                     on_time.append(frame)
                 else:
                     loop.call_later(extra, self._enqueue_frames, dst, frame)
+        if sent_bytes:
+            self.env.observe("wire_bytes", bytes=sent_bytes)
         if on_time:
             self._enqueue_frames(dst, b"".join(on_time))
 
@@ -382,8 +396,15 @@ class RuntimeNode:
         queue = self._outgoing.setdefault(dst, [])
         queue.append(frames)
         # Queue depth in *flush batches* awaiting the sender task: the
-        # backpressure signal a slow peer produces.
-        self.env.observe("outbox_depth", dst=dst, depth=len(queue))
+        # backpressure signal a slow peer produces.  Noted only on
+        # change -- a healthy sender holds the queue at one batch, so a
+        # per-enqueue note would re-report the same depth per command,
+        # while a backlog building behind a slow peer is a sequence of
+        # new depths and always gets through.
+        depth = len(queue)
+        if depth != self._outbox_noted.get(dst):
+            self._outbox_noted[dst] = depth
+            self.env.observe("outbox_depth", dst=dst, depth=depth)
         sender = self._senders.get(dst)
         if sender is None or sender.done():
             self._senders[dst] = asyncio.ensure_future(self._drain_outgoing(dst))

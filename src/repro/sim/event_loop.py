@@ -57,6 +57,43 @@ class Event:
         return f"Event(t={self.time:.6f}, seq={self.seq}, {state})"
 
 
+class RepeatingEvent:
+    """A self-rescheduling timer; ``cancel()`` stops the chain.
+
+    Each firing runs ``fn()`` and then schedules the next occurrence, so
+    the underlying :class:`Event` changes between firings -- this handle
+    stays valid for the life of the chain.  Note that an active repeating
+    timer keeps the heap non-empty: run-to-quiescence (``run()``) will
+    not terminate until it is cancelled; drive such loops with
+    ``run_until``/``run`` with ``max_events``.
+    """
+
+    __slots__ = ("interval", "fn", "cancelled", "_event", "_loop")
+
+    def __init__(self, loop: "EventLoop", interval: float, fn: Callable[[], None]):
+        if interval <= 0:
+            raise ValueError(f"repeat interval must be positive: {interval!r}")
+        self.interval = interval
+        self.fn = fn
+        self.cancelled = False
+        self._loop = loop
+        self._event = loop.schedule(interval, self._fire)
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self.fn()
+        if not self.cancelled:  # fn may have cancelled us
+            self._event = self._loop.schedule(self.interval, self._fire)
+
+    def cancel(self) -> None:
+        """Stop future firings.  Idempotent."""
+        if self.cancelled:
+            return
+        self.cancelled = True
+        self._event.cancel()
+
+
 class EventLoop:
     """Deterministic event loop with a virtual clock."""
 
@@ -104,6 +141,14 @@ class EventLoop:
         heapq.heappush(self._heap, (time, self._seq, event))
         self._seq += 1
         return event
+
+    def schedule_repeating(
+        self, interval: float, fn: Callable[[], None]
+    ) -> RepeatingEvent:
+        """Run ``fn`` every ``interval`` seconds until cancelled (the
+        telemetry sampler cadence).  First firing is one interval from
+        now."""
+        return RepeatingEvent(self, interval, fn)
 
     def _on_cancel(self) -> None:
         """Bookkeeping for one newly cancelled, still-queued event."""

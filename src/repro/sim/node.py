@@ -77,9 +77,9 @@ class SimEnv(Env):
         if node.crashed:
             return
         self._charge_send(n_messages=1, n_batches=1)
-        node.network.send(
-            self.node_id, dst, message, node.network.size_of(message)
-        )
+        size = node.network.size_of(message)
+        node.network.send(self.node_id, dst, message, size)
+        self.observe("wire_bytes", bytes=size)
 
     def _flush(
         self,
@@ -99,8 +99,14 @@ class SimEnv(Env):
         # draws and event-heap insertion stay identical to unbatched
         # runs, keeping decision logs reproducible.
         network = node.network
+        total = 0
         for dst, message in queued:
-            network.send(self.node_id, dst, message, network.size_of(message))
+            size = network.size_of(message)
+            network.send(self.node_id, dst, message, size)
+            total += size
+        # The sizes were just priced for the network model anyway; hand
+        # them to telemetry for free rather than re-estimating there.
+        self.observe("wire_bytes", bytes=total)
 
     def _charge_send(self, n_messages: int, n_batches: int) -> None:
         node = self._node

@@ -13,6 +13,7 @@ keeps real files and fsyncs them.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Optional
 
 from repro.consensus.base import Env, Recovered, Storage, StorageFull, TimerHandle
@@ -189,17 +190,23 @@ class LogStorage(Storage):
             return
         frames, self._pending = self._pending, []
         flushed_bytes, self._pending_bytes = self._pending_bytes, 0
+        started = perf_counter()
         self._persist(frames)
+        persist_seconds = perf_counter() - started
         self._log_bytes += flushed_bytes
         self._records_since_snapshot += len(frames)
         self.fsyncs += 1
         self.records_flushed += len(frames)
         if self._env is not None:
+            # ``seconds`` is measured wall time of the persist call (real
+            # fsync latency on DiskStorage, ~0 on MemStorage); consumers
+            # treat it as data, so it never perturbs sim determinism.
             self._env.observe(
                 "fsync",
                 records=len(frames),
                 bytes=flushed_bytes,
                 wait=self.config.fsync_wait,
+                seconds=persist_seconds,
             )
 
     # ------------------------------------------------------------------

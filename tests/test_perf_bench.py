@@ -29,6 +29,8 @@ MICRO = PerfConfig(
     runtime_commands=45,
     saturation_depths=(1, 8),
     saturation_commands=45,
+    telemetry_commands=45,
+    telemetry_repeats=1,
     smoke=True,
 )
 
@@ -161,6 +163,30 @@ def test_check_regressions_trips_on_slow_pipelining():
     problems = check_regressions(datapoint)
     assert len(problems) == 1
     assert "pipelined" in problems[0]
+
+
+def test_telemetry_overhead_schema():
+    datapoint = run_perf(MICRO, only=["telemetry_overhead"])
+    telemetry = datapoint["results"]["telemetry_overhead"]
+    assert telemetry["commands"] == 45
+    assert telemetry["off"]["commands_per_sec"] > 0
+    on = telemetry["on"]
+    assert on["commands_per_sec"] > 0
+    # The on arm actually ran the stack: wall-clock frames may be few at
+    # micro scale, but the per-node endpoints must have been up.
+    assert on["endpoints"] == 3
+    assert telemetry["overhead_ratio"] == pytest.approx(
+        telemetry["off"]["commands_per_sec"] / on["commands_per_sec"]
+    )
+    # Micro scale is too noisy to assert the 1.05 CI floor here; the
+    # smoke run enforces it.
+
+
+def test_check_regressions_trips_on_costly_telemetry():
+    datapoint = {"results": {"telemetry_overhead": {"overhead_ratio": 1.2}}}
+    problems = check_regressions(datapoint)
+    assert len(problems) == 1
+    assert "telemetry" in problems[0]
 
 
 def test_sim_runtime_gap_datapoint():
