@@ -25,7 +25,7 @@ from repro.sim.cpu import CpuConfig
 from repro.sim.latency import GaussianLatency
 from repro.sim.network import NetworkConfig
 from repro.sim.rng import RngRegistry
-from repro.spec import ClusterSpec
+from repro.spec import ClusterSpec, ZoneLatency
 from repro.storage.base import StorageConfig
 from repro.workloads.client import ClientConfig, OpenLoopClients
 from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
@@ -41,6 +41,8 @@ def protocol_factory(
     batch_wait: float = 0.0,
     batch_adaptive: bool = False,
     costs=None,
+    policy=None,
+    quorum=None,
 ) -> Callable[[int, int], Protocol]:
     """Benchmark-tuned factory for each protocol under test.
 
@@ -48,7 +50,9 @@ def protocol_factory(
     fast-path batching (ignored by the other protocols); ``costs``
     optionally replaces the protocol's CPU-cost profile (the perf bench
     uses a wire-bound profile to isolate the protocol-layer effect of
-    batching).
+    batching).  ``policy`` is an ownership-policy *factory* (zero-arg
+    callable -- policies hold per-node state) and ``quorum`` a
+    :class:`~repro.core.quorum.QuorumSystem` spec; both are M2Paxos-only.
     """
     if name == "m2paxos":
         config = M2PaxosConfig(
@@ -64,6 +68,8 @@ def protocol_factory(
             max_batch=max_batch,
             batch_wait=batch_wait,
             batch_adaptive=batch_adaptive,
+            policy=policy,
+            quorum=quorum,
         )
 
         def make_m2(node_id: int, n: int) -> Protocol:
@@ -111,6 +117,12 @@ class PointSpec:
     frame_sizes: str = "estimate"
     # Durable storage; None keeps today's in-memory-only behaviour.
     storage: Optional[StorageConfig] = None
+    # Geo runs: node->zone assignment, the intra/inter-zone latency
+    # shorthand (replaces the Gaussian LAN model when set), and whether
+    # m2paxos runs the zone-aware migration policy.
+    zones: Optional[tuple[int, ...]] = None
+    zone_latency: Optional["ZoneLatency"] = None
+    zone_affinity: bool = False
 
     def scaled_for_fast_mode(self) -> "PointSpec":
         """Cheaper variant used when REPRO_BENCH_FAST is set."""
@@ -179,6 +191,16 @@ def build_run(
         def home_hint(name: str, _n: int = n_nodes) -> int:
             return int(name[1:].split(".", 1)[0]) % _n
 
+    policy = None
+    if spec.zone_affinity:
+        if spec.zones is None:
+            raise ValueError("zone_affinity requires zones")
+        if spec.protocol != "m2paxos":
+            raise ValueError("zone_affinity is an m2paxos policy")
+        from repro.core.policy import ZoneAffinityPolicy
+
+        zones = spec.zones
+        policy = lambda: ZoneAffinityPolicy(zones)  # noqa: E731
     cluster_spec = ClusterSpec(
         protocol=spec.protocol,
         n_nodes=spec.n_nodes,
@@ -186,6 +208,8 @@ def build_run(
         network=network,
         cpu=CpuConfig(cores=spec.cores),
         storage=spec.storage,
+        zones=spec.zones,
+        zone_latency=spec.zone_latency,
     )
     cluster = Cluster(
         cluster_spec.sim_cluster_config(),
@@ -198,6 +222,7 @@ def build_run(
             max_batch=spec.max_batch,
             batch_wait=spec.batch_wait,
             costs=costs,
+            policy=policy,
         ),
     )
     workload_rng = RngRegistry(spec.seed * 7919 + 13)

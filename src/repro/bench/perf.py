@@ -83,6 +83,10 @@ class PerfConfig:
     telemetry_commands: int = 1200
     telemetry_repeats: int = 7
     telemetry_interval: float = 0.05
+    # Geo bench (``geo``): virtual seconds of warmup (ownership
+    # migrations settle here) and of measured window per arm.
+    geo_warmup: float = 0.8
+    geo_duration: float = 0.8
     uvloop: bool = False
     smoke: bool = False
 
@@ -102,6 +106,11 @@ class PerfConfig:
             # below ~100ms of measured run, startup and batching-regime
             # jitter swamp the effect the floor is checking.
             telemetry_commands=900,
+            # Long enough for every hot object to earn its migration
+            # (threshold 3 demand-weight at ~200 req/s/zone) and for the
+            # measured window to see >100 completions per zone.
+            geo_warmup=0.5,
+            geo_duration=0.5,
             smoke=True,
         )
 
@@ -579,6 +588,13 @@ def bench_storage_fsync(config: PerfConfig) -> dict:
 # Orchestration
 # ----------------------------------------------------------------------
 
+def bench_geo(config: PerfConfig) -> dict:
+    """Geo/WAN migration bench (see :mod:`repro.bench.geo`)."""
+    from repro.bench.geo import bench_geo as run
+
+    return run(config)
+
+
 BENCHES = {
     "sim": bench_sim_events,
     "codec": bench_codec,
@@ -587,6 +603,7 @@ BENCHES = {
     "runtime_saturation": bench_runtime_saturation,
     "telemetry_overhead": bench_telemetry_overhead,
     "storage_fsync": bench_storage_fsync,
+    "geo": bench_geo,
 }
 
 
@@ -679,6 +696,24 @@ def check_regressions(datapoint: dict) -> list[str]:
             f"full telemetry costs more than 5% of saturation throughput "
             f"(overhead ratio {telemetry['overhead_ratio']:.3f})"
         )
+    geo = results.get("geo")
+    if geo is not None:
+        if geo["zone_affinity"]["migrations"] <= 0:
+            problems.append(
+                "geo: zone-affinity arm performed no ownership migrations"
+            )
+        # Floors far below the steady-state wins (~2x majority, ~10x+
+        # flex): only a broken migration path trips them.
+        if not geo["remote_p50_improvement"] >= 1.3:
+            problems.append(
+                f"geo: remote-region p50 did not improve >= 1.3x after "
+                f"migration (got {geo['remote_p50_improvement']:.3f}x)"
+            )
+        if not geo["flex_remote_p50_improvement"] >= 1.3:
+            problems.append(
+                f"geo: flexible-quorum arm did not improve remote p50 >= "
+                f"1.3x (got {geo['flex_remote_p50_improvement']:.3f}x)"
+            )
     return problems
 
 

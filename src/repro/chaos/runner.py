@@ -38,7 +38,7 @@ from repro.consensus.commands import Command
 from repro.core.protocol import M2PaxosConfig, SafetyViolation
 from repro.obs.collect import ObsCollector
 from repro.sim.cluster import Cluster, ConsistencyViolation
-from repro.spec import ClusterSpec
+from repro.spec import ClusterSpec, ZoneLatency
 from repro.storage.base import StorageConfig
 
 
@@ -60,6 +60,13 @@ class Scenario:
     # "durable log" shortcut on restart.  ``kind="disk"`` with no dir
     # gets a per-run tmpdir from the runner.
     storage: Optional[StorageConfig] = None
+    # Geo shape: node->zone map plus the intra/inter-zone latency
+    # shorthand (see ClusterSpec); ``zone_affinity`` additionally runs
+    # the zone-aware migration policy, so partitions along a zone
+    # boundary exercise ownership moving *while* the WAN is cut.
+    zones: Optional[tuple[int, ...]] = None
+    zone_latency: Optional[ZoneLatency] = None
+    zone_affinity: bool = False
     description: str = ""
 
 
@@ -151,6 +158,15 @@ def run_scenario(
     only read, so the fingerprint is unchanged for a given seed."""
     plan = scenario.plan
     protocol_config = config if config is not None else _CHAOS_M2
+    if scenario.zone_affinity:
+        from repro.core.policy import ZoneAffinityPolicy
+
+        zones = scenario.zones
+        if zones is None:
+            raise ValueError("zone_affinity scenarios require zones")
+        protocol_config = replace(
+            protocol_config, policy=lambda: ZoneAffinityPolicy(zones)
+        )
     storage_config = storage if storage is not None else scenario.storage
     tmpdir: Optional[str] = None
     if storage_config is not None and storage_config.kind == "disk":
@@ -167,6 +183,8 @@ def run_scenario(
         seed=scenario.seed,
         m2=protocol_config,
         storage=storage_config,
+        zones=scenario.zones,
+        zone_latency=scenario.zone_latency,
     )
     cluster = Cluster.from_spec(spec)
     try:

@@ -18,6 +18,7 @@ from repro.chaos.plan import (
     PartitionWindow,
 )
 from repro.chaos.runner import Scenario
+from repro.spec import ZoneLatency
 from repro.storage.base import StorageConfig
 
 SCENARIOS: list[Scenario] = [
@@ -146,6 +147,29 @@ SCENARIOS: list[Scenario] = [
         description="repeated crash-restart cycles, durable then amnesia",
     ),
     Scenario(
+        name="geo-zone-partition",
+        plan=FaultPlan(
+            partitions=(
+                PartitionWindow(
+                    start=0.2,
+                    end=0.6,
+                    group_a=frozenset({0, 1}),
+                    group_b=frozenset({2, 3, 4}),
+                ),
+            )
+        ),
+        seed=26,
+        zones=(0, 0, 1, 1, 2),
+        zone_latency=ZoneLatency(intra=0.0005, inter=0.005),
+        zone_affinity=True,
+        locality=0.9,
+        settle=5.0,
+        description="WAN cut along the zone-0 boundary while the "
+        "zone-affinity policy is migrating ownership; the majority side "
+        "(zones 1+2) must keep deciding and the minority re-converge "
+        "after the heal",
+    ),
+    Scenario(
         name="contention-storm",
         plan=NO_FAULTS,
         seed=25,
@@ -197,7 +221,17 @@ SCENARIOS: list[Scenario] = [
 ]
 
 # Quick subset for CI: one crash, one partition, one wire-fault mix.
-SMOKE = ["crash-restart-durable", "partition-minority", "drop-dup"]
+# (``geo-zone-partition`` is deliberately not here: the batching and
+# pipelining suites re-run this list under max_batch=8 configs, and the
+# zone-affinity policy's post-heal re-convergence is not yet tuned for
+# batched rounds -- same-zone nodes can duel acquisitions for a long
+# time.  The scenario runs unbatched in the CI geo-smoke job and in
+# tests/test_geo.py instead.)
+SMOKE = [
+    "crash-restart-durable",
+    "partition-minority",
+    "drop-dup",
+]
 
 # Durable-storage subset for CI: run with ``--storage disk`` to exercise
 # real files + fsync in a tmpdir.

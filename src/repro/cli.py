@@ -46,7 +46,33 @@ def _storage_from_args(args):
     )
 
 
+def _parse_zones(text: str) -> tuple[int, ...]:
+    """``"0,0,1,1,2"`` -> ``(0, 0, 1, 1, 2)`` (node -> zone map)."""
+    try:
+        return tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"zones must be comma-separated integers, got {text!r}"
+        )
+
+
+def _zone_shape_from_args(args):
+    """The ``(zones, zone_latency)`` pair the geo flags describe."""
+    if getattr(args, "zones", None) is None:
+        return None, None
+    from repro.spec import ZoneLatency
+
+    zones = _parse_zones(args.zones)
+    latency = ZoneLatency(
+        intra=args.zone_intra_ms * 1e-3,
+        inter=args.zone_inter_ms * 1e-3,
+        jitter=args.zone_jitter_ms * 1e-3,
+    )
+    return zones, latency
+
+
 def _spec_from_args(args, protocol: str) -> PointSpec:
+    zones, zone_latency = _zone_shape_from_args(args)
     spec = PointSpec(
         protocol=protocol,
         n_nodes=args.nodes,
@@ -62,6 +88,9 @@ def _spec_from_args(args, protocol: str) -> PointSpec:
         seed=args.seed,
         cores=args.cores,
         storage=_storage_from_args(args),
+        zones=zones,
+        zone_latency=zone_latency,
+        zone_affinity=getattr(args, "zone_affinity", False),
     )
     if args.saturate:
         spec = saturated_spec(spec)
@@ -86,6 +115,28 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
         "--telemetry-interval", type=float, default=None,
         help="live-telemetry sampling cadence in virtual seconds "
              "(default: duration/4)",
+    )
+    parser.add_argument(
+        "--zones", default=None,
+        help="geo deployment: comma-separated node->zone map "
+             "(e.g. 0,0,1,1,2); must cover --nodes nodes",
+    )
+    parser.add_argument(
+        "--zone-intra-ms", type=float, default=0.5,
+        help="one-way latency inside a zone, milliseconds",
+    )
+    parser.add_argument(
+        "--zone-inter-ms", type=float, default=40.0,
+        help="one-way latency between zones, milliseconds",
+    )
+    parser.add_argument(
+        "--zone-jitter-ms", type=float, default=0.0,
+        help="symmetric per-message latency jitter, milliseconds",
+    )
+    parser.add_argument(
+        "--zone-affinity", action="store_true",
+        help="run the zone-aware ownership-migration policy "
+             "(m2paxos only; requires --zones)",
     )
     _add_storage_args(parser)
 
@@ -188,6 +239,12 @@ def _print_telemetry(protocol: str, result) -> None:
     if row is None:
         return
     print_table("telemetry (final interval frame)", [row], _TELEMETRY_COLUMNS)
+    from repro.obs.telemetry.top import ZONE_COLUMNS, zone_rows
+
+    frame = _final_frame(telemetry)
+    zones = zone_rows(frame) if frame is not None else []
+    if zones:
+        print_table("per-zone (final interval frame)", zones, ZONE_COLUMNS)
     for event in telemetry.events:
         details = ", ".join(
             f"{k}={v:.3g}" for k, v in sorted(event.details.items())
@@ -500,6 +557,18 @@ def cmd_perf(args) -> int:
                      "value": telemetry["on"]["commands_per_sec"]})
         rows.append({"bench": "telemetry overhead ratio",
                      "value": telemetry["overhead_ratio"]})
+    if "geo" in results:
+        geo = results["geo"]
+        rows.append({"bench": "geo pinned remote p50 ms",
+                     "value": geo["pinned"]["remote_p50_ms"]})
+        rows.append({"bench": "geo affinity remote p50 ms",
+                     "value": geo["zone_affinity"]["remote_p50_ms"]})
+        rows.append({"bench": "geo affinity+flex remote p50 ms",
+                     "value": geo["zone_affinity_flex"]["remote_p50_ms"]})
+        rows.append({"bench": "geo remote p50 improvement",
+                     "value": geo["remote_p50_improvement"]})
+        rows.append({"bench": "geo flex remote p50 improvement",
+                     "value": geo["flex_remote_p50_improvement"]})
     print_table(f"perf ({', '.join(results) or 'none'})", rows, ["bench", "value"])
     print(f"datapoint: {path}")
 
@@ -511,12 +580,69 @@ def cmd_perf(args) -> int:
     return 0
 
 
-def cmd_modelcheck(args) -> int:
-    from repro.core.modelcheck import ModelChecker, ModelConfig
-
-    checker = ModelChecker(
-        ModelConfig(n_ballots=args.ballots, max_states=args.max_states)
+def _quorum_from_args(args):
+    """The :class:`~repro.core.quorum.QuorumSystem` spec the modelcheck
+    flags name (always non-None; majority is the default)."""
+    from repro.core.quorum import (
+        FlexibleQuorums,
+        MajorityQuorums,
+        ZoneQuorums,
     )
+
+    if args.quorum == "flexible":
+        return FlexibleQuorums(prepare=args.prepare, accept=args.accept)
+    if args.quorum == "zone":
+        return ZoneQuorums(_parse_zones(args.zones or "0,0,1,1,2"))
+    return MajorityQuorums()
+
+
+def cmd_modelcheck(args) -> int:
+    from repro.core.modelcheck import (
+        ModelChecker,
+        ModelConfig,
+        verify_intersections,
+    )
+    from repro.core.quorum import check_fast_collision_intersections
+
+    system = _quorum_from_args(args)
+
+    # Phase 1: exhaustive prepare x accept intersection sweep over
+    # cluster sizes 3..5 (the Flexible Paxos safety condition).  Sizes
+    # the spec cannot bind to (a zone map pins one n) are skipped.
+    results = verify_intersections(system, n_lo=3, n_hi=5)
+    failed = False
+    for n, problems in sorted(results.items()):
+        if problems:
+            failed = True
+            print(f"intersections n={n}: {len(problems)} violation(s)")
+            for problem in problems[:3]:
+                print(f"  {problem}")
+        else:
+            bound = system.build(n)
+            triple = check_fast_collision_intersections(bound)
+            note = (
+                "" if not triple
+                else " (FastPaxos triple condition fails -- informational:"
+                " striped epochs rule out uncoordinated fast rounds)"
+            )
+            print(f"intersections n={n}: ok [{bound.describe()}]{note}")
+    if failed:
+        print("quorum system UNSAFE: prepare/accept quorums can miss "
+              "each other", file=sys.stderr)
+        return 1
+
+    # Phase 2: BFS over the abstract GFPaxos state space under the
+    # configured quorum families, when the spec binds at the model size.
+    try:
+        config = ModelConfig(
+            n_ballots=args.ballots,
+            max_states=args.max_states,
+            quorum_system=system,
+        )
+        checker = ModelChecker(config)
+    except ValueError as exc:
+        print(f"state search skipped: {exc} (model uses 3 acceptors)")
+        return 0
     try:
         states = checker.run()
     except RuntimeError:
@@ -642,6 +768,25 @@ def main(argv=None) -> int:
     mc_parser = sub.add_parser("modelcheck", help="exhaustive TLA+-mirror check")
     mc_parser.add_argument("--ballots", type=int, default=1)
     mc_parser.add_argument("--max-states", type=int, default=2_000_000)
+    mc_parser.add_argument(
+        "--quorum", choices=("majority", "flexible", "zone"),
+        default="majority",
+        help="quorum system to verify: intersection sweep at n=3..5, "
+             "then the BFS state search under its families",
+    )
+    mc_parser.add_argument(
+        "--prepare", type=int, default=4,
+        help="--quorum flexible: phase-1 quorum size",
+    )
+    mc_parser.add_argument(
+        "--accept", type=int, default=2,
+        help="--quorum flexible: phase-2 (fast-path) quorum size",
+    )
+    mc_parser.add_argument(
+        "--zones", default=None,
+        help="--quorum zone: comma-separated node->zone map "
+             "(default 0,0,1,1,2)",
+    )
     mc_parser.set_defaults(fn=cmd_modelcheck)
 
     args = parser.parse_args(argv)

@@ -34,10 +34,11 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.consensus.base import Protocol, ProtocolCosts, classic_quorum_size
+from repro.consensus.base import Protocol, ProtocolCosts
 from repro.core.delivery import DeliveryEngine
 from repro.core.messages import Accept, Decide
-from repro.core.policy import OnDemandPolicy
+from repro.core.policy import OnDemandPolicy, OwnershipPolicy
+from repro.core.quorum import MajorityQuorums, QuorumSystem
 from repro.core.m2.acceptor import AcceptorMixin
 from repro.core.m2.config import (
     M2PaxosConfig,
@@ -82,7 +83,14 @@ class M2Paxos(
     def __init__(self, config: Optional[M2PaxosConfig] = None) -> None:
         super().__init__()
         self.config = config or M2PaxosConfig()
-        self.policy = self.config.policy or OnDemandPolicy()
+        policy = self.config.policy
+        if policy is not None and not isinstance(policy, OwnershipPolicy):
+            # Factory form: policies hold per-node state, so a config
+            # shared across a cluster supplies `lambda: Policy(...)`.
+            policy = policy()
+        self.policy = policy or OnDemandPolicy()
+        # Bound at bind() time (needs the cluster size); None until then.
+        self.quorums: Optional[QuorumSystem] = None
         self.state = M2PaxosState(home_hint=self.config.home_hint)
         self.delivery: Optional[DeliveryEngine] = None
         self._req_counter = 0
@@ -93,6 +101,11 @@ class M2Paxos(
         self._active_recoveries: set[tuple[int, int]] = set()
         self._acquiring: set[str] = set()
         self._deferred: list = []
+        # Gap checker's view of each stuck frontier: obj -> (frontier
+        # position, time it was first seen stuck).  Keyed on the
+        # *position* so steady decision traffic at higher slots cannot
+        # mask a frontier that is not moving (see _check_gaps).
+        self._gap_stall: dict[str, tuple[int, float]] = {}
         # Instance set assigned to each of our in-flight commands.  A
         # NACKed round may nevertheless have been *chosen* (a quorum of
         # ACKs can coexist with the NACK we saw), so retries must fight
@@ -115,6 +128,7 @@ class M2Paxos(
             "fast_path": 0,
             "forwarded": 0,
             "acquisitions": 0,
+            "migrations": 0,
             "accept_nacks": 0,
             "prepare_nacks": 0,
             "gap_recoveries": 0,
@@ -126,6 +140,8 @@ class M2Paxos(
 
     def bind(self, env) -> None:
         super().bind(env)
+        spec = self.config.quorum or MajorityQuorums()
+        self.quorums = spec.build(env.n_nodes)
         self.delivery = DeliveryEngine(self.state, self._on_append)
 
     def on_start(self) -> None:
@@ -146,15 +162,12 @@ class M2Paxos(
         self._active_recoveries.clear()
         self._acquiring.clear()
         self._deferred.clear()
+        self._gap_stall.clear()
         self._assigned.clear()
         self._batch.clear()
         self._batch_cids.clear()
         self._batch_timer = None  # already cancelled by the substrate
         self._inflight_cids.clear()
-
-    @property
-    def quorum(self) -> int:
-        return classic_quorum_size(self.env.n_nodes)
 
     def processing_cost(self, message):
         """Charge multi-command rounds for their extra commands.

@@ -290,4 +290,11 @@ class AcceptorMixin:
         self._attempts.pop(command.cid, None)
         self._assigned.pop(command.cid, None)
         if not command.noop:
+            if command.proposer != self.env.node_id:
+                # Exactly-once "decision elsewhere" signal for the
+                # ownership policy (appends happen once per command per
+                # node); our own proposals -- including ones the owner
+                # decided for us after a forward -- stay out, so a
+                # node's local demand keeps counting.
+                self.policy.on_remote_decide(self.env.node_id, command)
             self.env.deliver(command)

@@ -81,9 +81,16 @@ class M2PaxosConfig:
     # over by preparing epoch 1.
     home_hint: Optional[Callable[[str], int]] = None
     # When-to-acquire policy (Section IV-C calls this an orthogonal
-    # problem); None means the paper's on-demand policy.  See
-    # repro.core.policy.
+    # problem); None means the paper's on-demand policy.  Accepts either
+    # a policy instance (legacy; fine for single-node configs) or a
+    # zero-argument factory returning one -- policies hold per-node
+    # state, so a config shared by every node of a cluster must use the
+    # factory form.  See repro.core.policy.
     policy: Optional[object] = None
+    # Quorum system spec (see repro.core.quorum): None means the seed's
+    # classic-majority pair.  Bound to the cluster size (and validated
+    # against the prepare∩accept intersection condition) at bind time.
+    quorum: Optional[object] = None
 
 
 @dataclass

@@ -147,7 +147,7 @@ class OwnershipMixin:
             return
 
         pending.replies[sender] = msg.decs
-        if len(pending.replies) < self.quorum:
+        if not self.quorums.is_prepare_quorum(pending.replies):
             return
         pending.done = True
         if pending.kind == "acquisition":

@@ -131,6 +131,7 @@ class ProposerMixin:
             and None not in owners
             and me not in owners
             and hops < self.config.max_forward_hops
+            and not self.policy.wants_single_owner
         ):
             (owner,) = owners
             self.stats["forwarded"] += 1
@@ -143,7 +144,7 @@ class ProposerMixin:
         # reshuffling here or forwarding to a better-placed node
         # (Section IV-C: when-to-acquire is a pluggable, orthogonal
         # choice; the default acquires on demand, as in the paper).
-        owner_map = {l: self.state.obj(l).owner for l in undecided}
+        owner_map = {l: self._believed_owner(l) for l in undecided}
         action, target = self.policy.decide(me, command, owner_map)
         if (
             action == FORWARD
@@ -156,10 +157,18 @@ class ProposerMixin:
             self.env.send(target, Forward(command=command, hops=hops + 1))
             self._arm_forward_timeout(command)
             return
+        if any(owner is not None and owner != me for owner in owner_map.values()):
+            # The policy chose to take over objects somebody else owns:
+            # an ownership *migration*, as opposed to a first-touch
+            # acquisition.  Geo benches and the telemetry layer count
+            # these to show placement converging toward the traffic.
+            self.stats["migrations"] += 1
+            self.note("migration", cid=command.cid, objs=len(owner_map))
         self._acquisition_phase(command)
 
     @handles(Forward)
     def _on_forward(self, sender: int, msg: Forward) -> None:
+        self.policy.on_forwarded_request(self.env.node_id, msg.command)
         self._coordinate(msg.command, hops=msg.hops)
 
     def _full_ins(
@@ -180,6 +189,28 @@ class ProposerMixin:
         queued, self._deferred = self._deferred, []
         for command in queued:
             self._coordinate(command, hops=0)
+
+    def _believed_owner(self, l: str) -> Optional[int]:
+        """The node the policy should treat as ``l``'s owner.
+
+        Usually the recorded owner -- but while an acquisition is in
+        flight the record still names the *old* owner, and a policy
+        acting on it starts (or joins) an epoch war: the dethroned
+        owner reads "we hold it: finish here", and a second would-be
+        acquirer reads "steal it from the old owner" instead of
+        forwarding to the one already taking over.  Epochs are striped
+        ``k*N + node`` (ownership.py), so a raised epoch itself names
+        the contender; when one is in flight (``epoch`` above the
+        recorded ``owner_epoch``), report the contender and let the
+        policy forward to where ownership is headed.  If the contender
+        crashed mid-takeover, the forward timeout still falls back to
+        acquisition.  Only the policy branch sees this view: the plain
+        forward path keeps the recorded owners, byte-identical to the
+        seed."""
+        obj = self.state.obj(l)
+        if obj.epoch > obj.owner_epoch:
+            return obj.epoch % self.env.n_nodes
+        return obj.owner
 
     def _is_current_owner(self, l: str) -> bool:
         """IsOwner(p_i, l): we acquired ``l`` and nobody has started a
@@ -279,7 +310,14 @@ class ProposerMixin:
     def _flush_batch(self) -> None:
         """Emit one Accept round covering every still-eligible queued
         command; commands whose ownership or instances went stale while
-        queued are re-coordinated individually."""
+        queued are re-coordinated individually, after a backoff.
+
+        The backoff matters: a stale batch member means another node is
+        (re)taking the object, and re-coordinating immediately answers
+        every flush with a counter-acquisition -- two nodes can duel
+        epochs indefinitely that way.  The randomised, attempt-scaled
+        retry delay breaks the symmetry, exactly as it does for NACKed
+        rounds on the unbatched path."""
         if self._batch_timer is not None:
             self._batch_timer.cancel()
             self._batch_timer = None
@@ -321,7 +359,7 @@ class ProposerMixin:
                 batch=tuple(batch) if len(batch) > 1 else (),
             )
         for command in requeue:
-            self._coordinate(command, hops=0)
+            self._retry(command)
 
     # ------------------------------------------------------------------
     # Accept phase (Algorithm 2)
@@ -403,8 +441,8 @@ class ProposerMixin:
         # only the coordinator does and the others learn via Decide.
         ready = True
         for inst, cid in msg.cids.items():
-            votes = self.state.record_ack(inst, msg.eps[inst], cid, sender)
-            if votes < self.quorum:
+            voters = self.state.record_ack(inst, msg.eps[inst], cid, sender)
+            if not self.quorums.is_accept_quorum(voters):
                 ready = False
         if not ready:
             return

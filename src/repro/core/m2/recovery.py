@@ -85,8 +85,20 @@ class RecoveryMixin:
             gap = self.delivery.undelivered_gap(l)
             if gap is None:
                 self.state.gap_candidates.discard(l)
+                self._gap_stall.pop(l, None)
                 continue
-            obj = self.state.obj(l)
-            if now - obj.last_progress >= self.config.gap_timeout:
-                obj.last_progress = now  # rate-limit recovery attempts
+            stalled = self._gap_stall.get(l)
+            if stalled is None or stalled[0] != gap:
+                # A frontier we have not seen stuck before (or it moved
+                # since last time): start its stall clock.  The clock is
+                # keyed on the frontier *position*, not on decision
+                # activity (``last_progress``): a busy object keeps
+                # deciding at higher slots the whole time its frontier
+                # is wedged, and counting that as progress would starve
+                # recovery exactly when ownership churn burns positions
+                # under live traffic.
+                self._gap_stall[l] = (gap, now)
+                continue
+            if now - stalled[1] >= self.config.gap_timeout:
+                self._gap_stall[l] = (gap, now)  # rate-limit re-recovery
                 self._recover_gap(l, gap)

@@ -33,6 +33,12 @@ from dataclasses import dataclass
 from itertools import product
 from typing import Iterable, Optional
 
+from repro.core.quorum import (
+    MajorityQuorums,
+    QuorumSystem,
+    check_intersections,
+)
+
 
 @dataclass(frozen=True)
 class ModelConfig:
@@ -44,6 +50,13 @@ class ModelConfig:
     n_instances: int = 2
     n_ballots: int = 1
     max_states: int = 2_000_000
+    # Quorum system under test (see repro.core.quorum); None means the
+    # classic-majority pair.  Vote quorums that choose a value use the
+    # system's *accept* family; the "quorum reached our ballot / proved
+    # safe" precondition (the abstract phase 1) uses its *prepare*
+    # family -- so the BFS explores exactly the interleavings the
+    # configured system admits.
+    quorum_system: Optional[QuorumSystem] = None
 
     def __post_init__(self) -> None:
         if self.commands is None:
@@ -56,6 +69,18 @@ class ModelConfig:
     @property
     def quorum(self) -> int:
         return self.n_acceptors // 2 + 1
+
+    def bound_system(self) -> QuorumSystem:
+        """The quorum system bound to ``n_acceptors``."""
+        system = self.quorum_system or MajorityQuorums()
+        if system.n is None:
+            return system.build(self.n_acceptors)
+        if system.n != self.n_acceptors:
+            raise ValueError(
+                f"quorum system is bound to n={system.n}, "
+                f"model has {self.n_acceptors} acceptors"
+            )
+        return system
 
 
 class Violation(Exception):
@@ -75,6 +100,10 @@ class ModelChecker:
     def __init__(self, config: Optional[ModelConfig] = None) -> None:
         self.config = config or ModelConfig()
         self.states_explored = 0
+        # Quorum families are fixed for the whole search; enumerate once.
+        self.system = self.config.bound_system()
+        self._accept_quorums = self.system.accept_quorums()
+        self._prepare_quorums = self.system.prepare_quorums()
 
     # ------------------------------------------------------------------
     # State helpers
@@ -94,15 +123,16 @@ class ModelChecker:
         return None
 
     def _chosen(self, votes, obj, instance) -> Optional[str]:
-        """The command chosen at (obj, instance), if any."""
+        """The command chosen at (obj, instance), if any: some *accept*
+        quorum of the configured system voted for it in one ballot."""
         cfg = self.config
         for ballot in range(cfg.n_ballots):
-            tally: dict[str, int] = {}
+            tally: dict[str, set[int]] = {}
             for (a, o, i, b, c) in votes:
                 if (o, i, b) == (obj, instance, ballot):
-                    tally[c] = tally.get(c, 0) + 1
-            for command, count in tally.items():
-                if count >= cfg.quorum:
+                    tally.setdefault(c, set()).add(a)
+            for command, voters in tally.items():
+                if self.system.is_accept_quorum(voters):
                     return command
         return None
 
@@ -217,9 +247,8 @@ class ModelChecker:
         return set(self.config.commands)
 
     def _quorums(self):
-        from itertools import combinations
-
-        return combinations(range(self.config.n_acceptors), self.config.quorum)
+        """Prepare (phase-1) quorums: what JoinBallot/ProvedSafeAt use."""
+        return self._prepare_quorums
 
     # ------------------------------------------------------------------
     # Invariant
@@ -273,6 +302,27 @@ class ModelChecker:
                     self.check_state(successor)
                     frontier.append(successor)
         return len(seen)
+
+
+def verify_intersections(system: QuorumSystem, n_lo: int = 3, n_hi: int = 5):
+    """Exhaustively check the classic∩fast condition at each cluster
+    size in ``[n_lo, n_hi]``.
+
+    ``system`` is an unbound spec; each size gets its own bound copy and
+    a full pairwise sweep of its prepare×accept families.  Returns
+    ``{n: [problems]}`` -- all lists empty for a safe system.  Sizes the
+    spec cannot bind to (a zone map pinned to one n) are skipped.
+    """
+    results: dict[int, list[str]] = {}
+    for n in range(n_lo, n_hi + 1):
+        try:
+            bound = system.build(n)
+        except ValueError as exc:
+            if "intersection" in str(exc):
+                results[n] = [str(exc)]
+            continue  # spec not applicable at this size (e.g. zone map)
+        results[n] = check_intersections(bound)
+    return results
 
 
 def main() -> None:  # pragma: no cover - CLI entry point

@@ -16,6 +16,11 @@ This module makes that decision point pluggable:
   requested locally ``threshold`` times in a row -- objects migrate to
   where their traffic actually is, and one-off remote accesses do not
   bounce ownership around.
+- :class:`ZoneAffinityPolicy` -- the WPaxos-flavoured geo policy:
+  per-object decayed demand counters *per zone*; ownership migrates
+  toward the zone generating the traffic, and while it has not earned
+  the move, commands forward to a zone-local owner when one exists
+  (forwarding inside a region beats stealing across an ocean).
 
 A policy only *redirects* commands (forward vs acquire); safety is
 entirely the protocol's, so any policy is safe by construction.
@@ -39,6 +44,13 @@ FORWARD = "forward"
 class OwnershipPolicy(ABC):
     """Decides how to handle a command with no usable single owner."""
 
+    # When True, the proposer consults ``decide`` even when a single
+    # other node owns every undecided object (the plain forward path).
+    # Placement-aware policies need that interception to migrate hot
+    # single-object traffic; the default keeps the seed's direct
+    # forward, byte-identical.
+    wants_single_owner = False
+
     @abstractmethod
     def decide(
         self,
@@ -51,11 +63,34 @@ class OwnershipPolicy(ABC):
         ``owners`` maps each *undecided* object of the command to its
         believed current owner (possibly None).  Called only when the
         plain paths did not apply: the proposer is not the owner of
-        everything, and no single other node owns everything.
+        everything, and no single other node owns everything (unless
+        ``wants_single_owner`` asked for that case too).
         """
 
     def on_local_request(self, node_id: int, command: Command) -> None:
         """Observe a local proposal (for request-counting policies)."""
+
+    def on_remote_decide(self, node_id: int, command: Command) -> None:
+        """Observe a command *proposed elsewhere* reaching our log.
+
+        The protocol calls this once per remotely-proposed command as it
+        is appended to the local C-struct -- the "intervening decision
+        elsewhere" signal that request-counting policies need to cancel
+        a pending migration claim.  Commands this node proposed itself
+        (including ones it forwarded to the current owner) do not come
+        through here: our own demand keeps counting.
+        """
+
+    def on_forwarded_request(self, node_id: int, command: Command) -> None:
+        """Observe a command another node forwarded to us to coordinate.
+
+        Fires on Forward receipt, *before* the command decides -- the
+        demand signal a placement policy must not miss: an owner that
+        only counted decided commands would, while a migration stalls
+        the pipeline, see nothing but its own local traffic and
+        conclude its zone dominates demand for objects some other
+        region is hammering (and steal them right back).
+        """
 
 
 class OnDemandPolicy(OwnershipPolicy):
@@ -73,6 +108,11 @@ class StickyPolicy(OwnershipPolicy):
     the meantime commands are forwarded to whichever node owns the most
     of their objects (it acquires the stragglers itself, which is
     cheaper than a full reshuffle when most objects already co-reside).
+
+    A decision proposed by another node resets the object's streak
+    (``on_remote_decide``): interleaved remote traffic means the object
+    is *shared*, not hot-local, and stealing it would only start a
+    ping-pong in which every node's threshold is trivially reached.
     """
 
     def __init__(self, threshold: int = 3) -> None:
@@ -85,7 +125,19 @@ class StickyPolicy(OwnershipPolicy):
         for obj in command.ls:
             self._streak[obj] = self._streak.get(obj, 0) + 1
 
+    def on_remote_decide(self, node_id: int, command: Command) -> None:
+        # "In a row" means without an intervening decision elsewhere:
+        # remote traffic on the object voids the streak earned so far.
+        for obj in command.ls:
+            if obj in self._streak:
+                self._streak[obj] = 0
+
     def decide(self, node_id, command, owners):
+        if not owners:
+            raise ValueError(
+                "StickyPolicy.decide called with no undecided objects "
+                f"for command {command.cid}"
+            )
         known = [owner for owner in owners.values() if owner is not None]
         hot_enough = all(
             self._streak.get(obj, 0) >= self.threshold for obj in owners
@@ -102,3 +154,125 @@ class StickyPolicy(OwnershipPolicy):
         if majority_owner == node_id:
             return ACQUIRE, None  # we already hold the majority: finish it
         return FORWARD, majority_owner
+
+
+class ZoneAffinityPolicy(OwnershipPolicy):
+    """Zone-aware placement for geo deployments (ROADMAP item 3).
+
+    ``zones[i]`` is the zone of node ``i`` (the same map every node
+    gets).  The policy keeps one decayed demand counter per object per
+    zone: every local request bumps our zone, every remotely-proposed
+    decision bumps the proposer's zone, and each bump first decays all
+    of the object's counters by ``decay`` -- so the counters track
+    *recent* traffic share, not lifetime totals.
+
+    ``decide`` then migrates an object group only when this node's zone
+    generated at least ``dominance`` of the recent demand (and at least
+    ``threshold`` weight of it in absolute terms -- one early request
+    must not trigger a steal).  Short of that it forwards: to an owner
+    in our own zone when one exists (intra-zone RTT), else to whichever
+    node owns the most of the command's objects (one WAN hop beats a
+    WAN-wide acquisition round).
+
+    Unlike the LAN policies, this one also intercepts the plain
+    single-owner forward path (``wants_single_owner``): a zone cannot
+    attract a hot object if the proposer short-circuits to the remote
+    owner before the policy ever sees the request.
+    """
+
+    wants_single_owner = True
+
+    def __init__(
+        self,
+        zones,
+        threshold: float = 3.0,
+        decay: float = 0.8,
+        dominance: float = 0.6,
+    ) -> None:
+        self.zones = tuple(zones)
+        if not self.zones:
+            raise ValueError("zones must be non-empty")
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        if not 0.0 < dominance <= 1.0:
+            raise ValueError("dominance must be in (0, 1]")
+        self.threshold = threshold
+        self.decay = decay
+        self.dominance = dominance
+        # obj -> zone -> decayed demand weight.
+        self._demand: dict[str, dict[int, float]] = {}
+
+    def _bump(self, obj: str, zone: int) -> None:
+        per_zone = self._demand.setdefault(obj, {})
+        for z in per_zone:
+            per_zone[z] *= self.decay
+        per_zone[zone] = per_zone.get(zone, 0.0) + 1.0
+
+    def on_local_request(self, node_id: int, command: Command) -> None:
+        zone = self.zones[node_id]
+        for obj in command.ls:
+            self._bump(obj, zone)
+
+    def on_remote_decide(self, node_id: int, command: Command) -> None:
+        zone = self.zones[command.proposer]
+        for obj in command.ls:
+            self._bump(obj, zone)
+
+    def on_forwarded_request(self, node_id: int, command: Command) -> None:
+        # A forward is demand from the proposer's zone, observed at the
+        # moment it matters (while we are the owner being asked to
+        # coordinate); counting it only at decide time would blind the
+        # owner to the very traffic a stalled migration is queueing up.
+        zone = self.zones[command.proposer]
+        for obj in command.ls:
+            self._bump(obj, zone)
+
+    def decide(self, node_id, command, owners):
+        if not owners:
+            raise ValueError(
+                "ZoneAffinityPolicy.decide called with no undecided "
+                f"objects for command {command.cid}"
+            )
+        my_zone = self.zones[node_id]
+        known = [owner for owner in owners.values() if owner is not None]
+        if not known:
+            return ACQUIRE, None  # first touch: nobody to forward to
+        tally: dict[int, int] = {}
+        for owner in known:
+            tally[owner] = tally.get(owner, 0) + 1
+        if node_id in tally:
+            return ACQUIRE, None  # we already hold some: finish it here
+        zone_local = {
+            owner: count
+            for owner, count in tally.items()
+            if self.zones[owner] == my_zone
+        }
+        if zone_local:
+            # A same-zone owner already satisfies zone affinity: stealing
+            # from it would just ping-pong ownership between the zone's
+            # own nodes (both see the same "our zone dominates" signal),
+            # so intra-zone traffic always forwards.
+            return FORWARD, max(
+                zone_local, key=lambda node: (zone_local[node], -node)
+            )
+        local_weight = total_weight = 0.0
+        for obj in owners:
+            for zone, weight in self._demand.get(obj, {}).items():
+                total_weight += weight
+                if zone == my_zone:
+                    local_weight += weight
+        if (
+            total_weight >= self.threshold
+            and local_weight >= self.dominance * total_weight
+        ):
+            # Our zone earned the migration -- and *spends* the demand
+            # that earned it: re-stealing requires re-earning dominance
+            # from zero, so two zones trading bursts of traffic settle
+            # into forwarding instead of migrating the object back and
+            # forth on every burst (hysteresis against ownership wars).
+            for obj in owners:
+                self._demand.pop(obj, None)
+            return ACQUIRE, None
+        return FORWARD, max(tally, key=lambda node: (tally[node], -node))

@@ -1,0 +1,323 @@
+"""Pluggable quorum systems for M2Paxos (Fast Flexible Paxos sizing).
+
+The seed protocol hard-coded one quorum: a classic majority, used both
+for counting ``AckAccept`` votes (phase 2, including the fast path) and
+for counting ``AckPrepare`` replies (phase 1, acquisitions and
+recovery).  This module makes the pair pluggable:
+
+- :class:`MajorityQuorums` -- the seed behaviour, both phases at
+  ``floor(n/2) + 1``.  The default everywhere; decision logs stay
+  byte-identical to the seed.
+- :class:`FlexibleQuorums` -- explicit phase-1/phase-2 sizes traded
+  against each other per *Flexible Paxos* / *Fast Flexible Paxos*:
+  any ``prepare + accept > n`` split is safe, so a WAN deployment can
+  shrink the latency-critical accept quorum (every fast-path round) by
+  growing the rare prepare quorum (acquisitions only).
+- :class:`ZoneQuorums` -- WPaxos-style grid quorums over a zone
+  assignment: an accept quorum is a per-zone majority in ``Z - f_Z``
+  zones, a prepare quorum a per-zone majority in ``f_Z + 1`` zones.
+  Any two such quorums share a zone (``(f_Z+1) + (Z-f_Z) > Z``) and two
+  majorities of one zone intersect, so the intersection condition holds
+  structurally while tolerating ``f_Z`` whole-zone failures.
+
+Why the *pairwise* classic∩fast condition is the load-bearing one here:
+in Fast Paxos (SNIPPETS.md FastPaxos.tla) any two fast quorums and any
+classic quorum must share an acceptor, because distinct proposers may
+race values into the *same* fast round.  M2Paxos stripes epochs
+``k*N + node_id`` (see ``OwnershipMixin._next_epoch``), so every accept
+round -- fast path included -- has a unique coordinator and same-round
+collisions cannot exist; what safety needs is exactly the Flexible
+Paxos condition that every prepare quorum intersects every accept
+quorum.  :func:`check_intersections` verifies that for a configured
+system; :func:`check_fast_collision_intersections` additionally reports
+the stricter FastPaxos triple condition for systems meant to serve
+uncoordinated fast rounds.  ``repro modelcheck`` drives both, plus a
+state-space search under the configured families (`core/modelcheck.py`).
+"""
+
+from __future__ import annotations
+
+import copy
+from abc import ABC, abstractmethod
+from itertools import combinations, product
+from typing import Iterable, Optional
+
+
+class QuorumSystem(ABC):
+    """A (prepare, accept) quorum family pair for one cluster size.
+
+    Instances are specs until :meth:`build` binds them to a concrete
+    cluster size ``n`` (and validates the intersection condition); the
+    bound copy is what the protocol queries.  Specs are cheap immutable
+    value objects, safe to share between the nodes of a cluster -- each
+    node queries, never mutates.
+    """
+
+    name: str = "quorum"
+    n: Optional[int] = None
+
+    def build(self, n: int) -> "QuorumSystem":
+        """Bind to a cluster of ``n`` nodes, validating safety."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        bound = copy.copy(self)
+        bound.n = n
+        bound._validate()
+        problems = check_intersections(bound)
+        if problems:
+            raise ValueError(
+                f"{bound.describe()} violates the prepare/accept "
+                f"intersection condition: {problems[0]}"
+            )
+        return bound
+
+    def _validate(self) -> None:
+        """Subclass hook: parameter checks against the bound ``n``."""
+
+    # -- membership predicates (the protocol's hot-path queries) -------
+
+    @abstractmethod
+    def is_accept_quorum(self, voters: Iterable[int]) -> bool:
+        """Phase-2 quorum test: do ``voters`` decide an accept round?"""
+
+    @abstractmethod
+    def is_prepare_quorum(self, voters: Iterable[int]) -> bool:
+        """Phase-1 quorum test: do ``voters`` complete a prepare round?"""
+
+    # -- family enumeration (modelcheck / validation) ------------------
+
+    @abstractmethod
+    def accept_quorums(self) -> list[frozenset[int]]:
+        """The minimal accept (classic-phase-2 / fast-path) quorums."""
+
+    @abstractmethod
+    def prepare_quorums(self) -> list[frozenset[int]]:
+        """The minimal prepare (classic-phase-1) quorums."""
+
+    def describe(self) -> str:
+        return f"{self.name}(n={self.n})"
+
+
+class MajorityQuorums(QuorumSystem):
+    """The seed's hard-coded system: classic majority for both phases."""
+
+    name = "majority"
+
+    def _size(self) -> int:
+        assert self.n is not None
+        return self.n // 2 + 1
+
+    def _validate(self) -> None:
+        pass
+
+    def is_accept_quorum(self, voters) -> bool:
+        return len(set(voters)) >= self._size()
+
+    def is_prepare_quorum(self, voters) -> bool:
+        return len(set(voters)) >= self._size()
+
+    def accept_quorums(self) -> list[frozenset[int]]:
+        assert self.n is not None
+        return [frozenset(q) for q in combinations(range(self.n), self._size())]
+
+    def prepare_quorums(self) -> list[frozenset[int]]:
+        return self.accept_quorums()
+
+    def describe(self) -> str:
+        if self.n is None:
+            return "majority"
+        return f"majority(n={self.n}, quorum={self._size()})"
+
+
+class FlexibleQuorums(QuorumSystem):
+    """Explicit ``(prepare, accept)`` sizes per Fast Flexible Paxos.
+
+    ``prepare + accept > n`` is required (checked at :meth:`build`):
+    every phase-1 quorum then overlaps every phase-2 quorum, which is
+    the whole safety argument for coordinated rounds.  The interesting
+    WAN configuration is ``accept < n//2 + 1``: the fast path waits for
+    fewer, nearer acks on *every* command, paid for by larger prepare
+    quorums on the rare ownership changes.
+    """
+
+    name = "flexible"
+
+    def __init__(self, prepare: int, accept: int, unsafe: bool = False) -> None:
+        if prepare < 1 or accept < 1:
+            raise ValueError("quorum sizes must be >= 1")
+        self.prepare = prepare
+        self.accept = accept
+        # ``unsafe=True`` skips the intersection validation -- for tests
+        # that need a broken system to prove the checkers have teeth.
+        self.unsafe = unsafe
+
+    def build(self, n: int) -> "QuorumSystem":
+        if not self.unsafe:
+            return super().build(n)
+        bound = copy.copy(self)
+        bound.n = n
+        bound._validate()
+        return bound
+
+    def _validate(self) -> None:
+        assert self.n is not None
+        if self.prepare > self.n or self.accept > self.n:
+            raise ValueError(
+                f"quorum sizes ({self.prepare}, {self.accept}) exceed "
+                f"cluster size {self.n}"
+            )
+
+    def is_accept_quorum(self, voters) -> bool:
+        return len(set(voters)) >= self.accept
+
+    def is_prepare_quorum(self, voters) -> bool:
+        return len(set(voters)) >= self.prepare
+
+    def accept_quorums(self) -> list[frozenset[int]]:
+        assert self.n is not None
+        return [frozenset(q) for q in combinations(range(self.n), self.accept)]
+
+    def prepare_quorums(self) -> list[frozenset[int]]:
+        assert self.n is not None
+        return [frozenset(q) for q in combinations(range(self.n), self.prepare)]
+
+    def describe(self) -> str:
+        return (
+            f"flexible(n={self.n}, prepare={self.prepare}, "
+            f"accept={self.accept})"
+        )
+
+
+class ZoneQuorums(QuorumSystem):
+    """WPaxos-flavoured grid quorums over a zone assignment.
+
+    ``zones[i]`` is the zone of node ``i``.  With ``Z`` distinct zones
+    and zone-fault tolerance ``f_Z`` (default ``(Z-1)//2``):
+
+    - an **accept** quorum holds a per-zone majority in at least
+      ``Z - f_Z`` distinct zones;
+    - a **prepare** quorum holds a per-zone majority in at least
+      ``f_Z + 1`` distinct zones.
+
+    ``(f_Z+1) + (Z-f_Z) = Z+1 > Z`` forces a common zone, and two
+    majorities of one zone intersect -- the intersection condition by
+    construction.  The geo win: an accept quorum can be assembled from
+    the ``Z - f_Z`` *nearest* zones, and the cluster survives ``f_Z``
+    whole-zone outages.
+    """
+
+    name = "zone"
+
+    def __init__(self, zones, zone_faults: Optional[int] = None) -> None:
+        self.zones = tuple(zones)
+        if not self.zones:
+            raise ValueError("zones must be non-empty")
+        self._members: dict[int, list[int]] = {}
+        for node, zone in enumerate(self.zones):
+            self._members.setdefault(zone, []).append(node)
+        n_zones = len(self._members)
+        if zone_faults is None:
+            zone_faults = (n_zones - 1) // 2
+        if not 0 <= zone_faults < n_zones:
+            raise ValueError(
+                f"zone_faults must be in [0, {n_zones - 1}], got {zone_faults}"
+            )
+        self.zone_faults = zone_faults
+        self._accept_zones = n_zones - zone_faults
+        self._prepare_zones = zone_faults + 1
+
+    def _validate(self) -> None:
+        assert self.n is not None
+        if len(self.zones) != self.n:
+            raise ValueError(
+                f"zone assignment covers {len(self.zones)} nodes, "
+                f"cluster has {self.n}"
+            )
+
+    def _zones_with_majority(self, voters: set[int]) -> int:
+        count = 0
+        for members in self._members.values():
+            inside = sum(1 for node in members if node in voters)
+            if inside >= len(members) // 2 + 1:
+                count += 1
+        return count
+
+    def is_accept_quorum(self, voters) -> bool:
+        return self._zones_with_majority(set(voters)) >= self._accept_zones
+
+    def is_prepare_quorum(self, voters) -> bool:
+        return self._zones_with_majority(set(voters)) >= self._prepare_zones
+
+    def _family(self, zones_needed: int) -> list[frozenset[int]]:
+        quorums: set[frozenset[int]] = set()
+        zone_ids = sorted(self._members)
+        for chosen in combinations(zone_ids, zones_needed):
+            majorities_per_zone = []
+            for zone in chosen:
+                members = self._members[zone]
+                size = len(members) // 2 + 1
+                majorities_per_zone.append(
+                    [frozenset(c) for c in combinations(members, size)]
+                )
+            for parts in product(*majorities_per_zone):
+                quorums.add(frozenset().union(*parts))
+        return sorted(quorums, key=sorted)
+
+    def accept_quorums(self) -> list[frozenset[int]]:
+        return self._family(self._accept_zones)
+
+    def prepare_quorums(self) -> list[frozenset[int]]:
+        return self._family(self._prepare_zones)
+
+    def describe(self) -> str:
+        return (
+            f"zone(n={self.n}, zones={len(self._members)}, "
+            f"f_Z={self.zone_faults})"
+        )
+
+
+def check_intersections(system: QuorumSystem) -> list[str]:
+    """The classic∩fast condition: every prepare (classic, phase-1)
+    quorum must intersect every accept (fast-path, phase-2) quorum.
+
+    This is exactly what M2Paxos safety rests on -- a new owner's
+    prepare must see any value a phase-2 quorum may have chosen -- and
+    it is the Flexible Paxos relaxation of FastPaxos.tla's assumption
+    (the triple condition is only needed for *uncoordinated* fast
+    rounds, which striped epochs rule out; see
+    :func:`check_fast_collision_intersections`).  Returns a list of
+    human-readable violations, empty when the system is safe.
+    """
+    problems = []
+    accepts = system.accept_quorums()
+    for prepare in system.prepare_quorums():
+        for accept in accepts:
+            if not prepare & accept:
+                problems.append(
+                    f"prepare quorum {sorted(prepare)} and accept quorum "
+                    f"{sorted(accept)} are disjoint"
+                )
+    return problems
+
+
+def check_fast_collision_intersections(system: QuorumSystem) -> list[str]:
+    """FastPaxos.tla's full condition: every classic quorum must
+    intersect every *pair* of fast quorums.
+
+    Required only when distinct proposers can race values into the same
+    fast round (classic Fast Paxos's any-value rounds).  M2Paxos never
+    runs such rounds, so a system may legitimately fail this while
+    passing :func:`check_intersections`; the modelcheck CLI reports it
+    for information.
+    """
+    problems = []
+    accepts = system.accept_quorums()
+    for prepare in system.prepare_quorums():
+        for f1, f2 in combinations(accepts, 2):
+            if not prepare & f1 & f2:
+                problems.append(
+                    f"classic {sorted(prepare)} ∩ fast {sorted(f1)} ∩ "
+                    f"fast {sorted(f2)} is empty"
+                )
+                break  # one witness per classic quorum keeps output sane
+    return problems

@@ -154,9 +154,14 @@ class M2PaxosState:
 
     def record_ack(
         self, instance: Instance, epoch: int, cid: tuple[int, int], voter: int
-    ) -> int:
-        """Register one ACKACCEPT vote; return the vote count."""
+    ) -> set[int]:
+        """Register one ACKACCEPT vote; return the voter set so far.
+
+        Returning the set (not just its size) lets membership-based
+        quorum systems (zone grids) judge the round, not only counting
+        ones.
+        """
         key = (instance, epoch, cid)
         voters = self.acks.setdefault(key, set())
         voters.add(voter)
-        return len(voters)
+        return voters

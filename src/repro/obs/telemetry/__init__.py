@@ -28,7 +28,7 @@ from .registry import Counter, Gauge, Histogram, MetricFamily, MetricsRegistry
 from .sampler import Frame, IntervalSampler
 from .service import Telemetry
 from .sketch import LogSketch
-from .top import render_frames, render_screen
+from .top import render_frames, render_screen, zone_rows
 
 __all__ = [
     "PATHS",
@@ -49,4 +49,5 @@ __all__ = [
     "render_frames",
     "render_prometheus",
     "render_screen",
+    "zone_rows",
 ]

@@ -27,7 +27,7 @@ saturation-throughput tax to a few percent.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.consensus.base import EnvObserver, Message
 from repro.obs.clock import Clock
@@ -56,8 +56,15 @@ class TelemetryCollector(EnvObserver):
         clock: Clock,
         registry: Optional[MetricsRegistry] = None,
         max_pending: int = 65536,
+        zones: Optional[Sequence[int]] = None,
     ) -> None:
         self.clock = clock
+        # Geo runs: ``zones[node_id]`` labels the decide/latency stream
+        # per region.  None (the default) registers no zone families at
+        # all, so single-zone runs pay nothing.
+        self.zones: Optional[Tuple[int, ...]] = (
+            tuple(zones) if zones is not None else None
+        )
         self.registry = registry if registry is not None else MetricsRegistry()
         self.max_pending = max_pending
         r = self.registry
@@ -120,6 +127,24 @@ class TelemetryCollector(EnvObserver):
         self.faults = r.counter(
             "repro_faults_total", "injected crash/restart events", ("node", "event")
         )
+        self.migrations = r.counter(
+            "repro_ownership_migrations_total",
+            "policy-chosen acquisitions away from a live remote owner",
+            ("node",),
+        )
+        self.zone_decides = None
+        self.zone_latency = None
+        if self.zones is not None:
+            self.zone_decides = r.counter(
+                "repro_zone_decides_total",
+                "proposer-side completions by proposer zone and path",
+                ("zone", "path"),
+            )
+            self.zone_latency = r.histogram(
+                "repro_zone_command_latency_seconds",
+                "propose-to-proposer-delivery latency by proposer zone",
+                ("zone",),
+            )
         self.dropped = r.counter(
             "repro_telemetry_dropped_commands_total",
             "commands not latency-tracked because max_pending was hit",
@@ -139,6 +164,9 @@ class TelemetryCollector(EnvObserver):
         self._outbox_depth_c: Dict[int, object] = {}
         self._decides_c: Dict[Tuple[int, str], object] = {}
         self._latency_c: Dict[str, object] = {}
+        self._zone_decides_c: Dict[Tuple[str, str], object] = {}
+        self._zone_latency_c: Dict[str, object] = {}
+        self._migrations_c: Dict[int, object] = {}
         # Note dispatch by kind: one dict probe per note, and kinds this
         # collector does not track (``decide``, ``quorum``, ...) -- the
         # majority of note traffic under load -- fall out immediately
@@ -151,6 +179,7 @@ class TelemetryCollector(EnvObserver):
             "fsync": self._note_fsync,
             "epoch_bump": self._note_epoch_bump,
             "owner_handoff": self._note_owner_handoff,
+            "migration": self._note_migration,
             "fault": self._note_fault,
         }
         # Subscribe to exactly the kinds handled above: the env then
@@ -267,7 +296,22 @@ class TelemetryCollector(EnvObserver):
         histogram = self._latency_c.get(path)
         if histogram is None:
             histogram = self._latency_c[path] = self.latency.child(path)
-        histogram.observe(self._now() - proposed_at)
+        latency = self._now() - proposed_at
+        histogram.observe(latency)
+        if self.zones is not None:
+            zone = str(self.zones[node_id])
+            decided = self._zone_decides_c.get((zone, path))
+            if decided is None:
+                decided = self._zone_decides_c[(zone, path)] = (
+                    self.zone_decides.child(zone, path)
+                )
+            decided.value += 1.0
+            histogram = self._zone_latency_c.get(zone)
+            if histogram is None:
+                histogram = self._zone_latency_c[zone] = (
+                    self.zone_latency.child(zone)
+                )
+            histogram.observe(latency)
 
     def on_note(self, node_id: int, kind: str, fields: dict) -> None:
         handler = self._note_handlers.get(kind)
@@ -314,6 +358,14 @@ class TelemetryCollector(EnvObserver):
 
     def _note_owner_handoff(self, node_id: int, fields: dict) -> None:
         self.handoffs.child(str(fields["obj"])).inc()
+
+    def _note_migration(self, node_id: int, fields: dict) -> None:
+        counter = self._migrations_c.get(node_id)
+        if counter is None:
+            counter = self._migrations_c[node_id] = self.migrations.child(
+                node_id
+            )
+        counter.value += 1.0
 
     def _note_fault(self, node_id: int, fields: dict) -> None:
         event = fields["event"]

@@ -63,6 +63,14 @@ class Frame:
     handoffs: int
     dropped_commands: int  # cumulative, not a delta
     faults: Tuple[Tuple[int, str], ...] = field(default_factory=tuple)
+    # Geo fields (empty/zero on single-zone runs): ownership migrations
+    # this interval, and per-zone decide/latency breakdowns keyed by
+    # zone label.
+    migrations: int = 0
+    zone_decides: Dict[str, int] = field(default_factory=dict)
+    zone_fast_share: Dict[str, float] = field(default_factory=dict)
+    zone_p50: Dict[str, float] = field(default_factory=dict)
+    zone_p99: Dict[str, float] = field(default_factory=dict)
 
     @property
     def duration(self) -> float:
@@ -188,6 +196,32 @@ class IntervalSampler:
         if fsync_overall is not None and fsync_overall.count:
             fsync_p99 = fsync_overall.quantile(99)
 
+        zone_decides: Dict[str, int] = {}
+        zone_fast: Dict[str, int] = {}
+        zone_p50: Dict[str, float] = {}
+        zone_p99: Dict[str, float] = {}
+        if collector.zone_decides is not None:
+            for (zone, path), child in collector.zone_decides.children.items():
+                key = f"zone_decides:{zone}:{path}"
+                previous = self._prev.totals.get(key, 0.0)
+                self._prev.totals[key] = child.value
+                delta = int(child.value - previous)
+                if delta:
+                    zone_decides[zone] = zone_decides.get(zone, 0) + delta
+                    if path == "fast":
+                        zone_fast[zone] = zone_fast.get(zone, 0) + delta
+            for (zone,), child in collector.zone_latency.children.items():
+                interval_sketch = self._interval_sketch(
+                    f"zone_latency:{zone}", child.sketch
+                )
+                if interval_sketch.count:
+                    zone_p50[zone] = interval_sketch.quantile(50)
+                    zone_p99[zone] = interval_sketch.quantile(99)
+        zone_fast_share = {
+            zone: zone_fast.get(zone, 0) / count
+            for zone, count in zone_decides.items()
+        }
+
         outbox = collector.outbox_depth.children.values()
         window = collector.client_window.children.values()
         frame = Frame(
@@ -217,6 +251,11 @@ class IntervalSampler:
             handoffs=int(self._delta(collector.handoffs)),
             dropped_commands=int(collector.dropped.value),
             faults=tuple(collector.drain_faults()),
+            migrations=int(self._delta(collector.migrations)),
+            zone_decides=zone_decides,
+            zone_fast_share=zone_fast_share,
+            zone_p50=zone_p50,
+            zone_p99=zone_p99,
         )
         self._window_start = now
         self._index += 1

@@ -57,8 +57,15 @@ class Telemetry:
             if registry is not None
             else MetricsRegistry(const_labels=const_labels)
         )
+        # Geo runs: pick the zone map off the cluster config (sim
+        # ClusterConfig and runtime configs both carry ``zones``) so
+        # per-zone instruments appear without any explicit wiring.
+        zones = getattr(getattr(cluster, "config", None), "zones", None)
         self.collector = TelemetryCollector(
-            self.clock, registry=self.registry, max_pending=max_pending
+            self.clock,
+            registry=self.registry,
+            max_pending=max_pending,
+            zones=zones,
         )
         self.collector.attach(cluster)
         self.sampler = IntervalSampler(

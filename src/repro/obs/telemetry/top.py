@@ -72,6 +72,26 @@ def path_rows(frame: Frame) -> List[dict]:
     return rows
 
 
+def zone_rows(frame: Frame) -> List[dict]:
+    """Per-zone breakdown of one frame (empty on single-zone runs)."""
+    nan = float("nan")
+    rows = []
+    for zone in sorted(frame.zone_decides):
+        rows.append(
+            {
+                "zone": zone,
+                "decides": frame.zone_decides[zone],
+                "fast%": frame.zone_fast_share.get(zone, nan) * 100.0,
+                "p50ms": _ms(frame.zone_p50.get(zone, nan)),
+                "p99ms": _ms(frame.zone_p99.get(zone, nan)),
+            }
+        )
+    return rows
+
+
+ZONE_COLUMNS = ("zone", "decides", "fast%", "p50ms", "p99ms")
+
+
 def render_frames(
     frames: Sequence[Frame],
     events: Iterable[HealthEvent] = (),
@@ -93,6 +113,11 @@ def render_frames(
         lines.append(
             format_table(paths, ("path", "count", "share%", "p50ms", "p99ms"))
         )
+    zones = zone_rows(last)
+    if zones:
+        lines.append("")
+        lines.append(f"-- zones (frame {last.index}) --")
+        lines.append(format_table(zones, ZONE_COLUMNS))
     recent_events = list(events)[-5:]
     if recent_events:
         lines.append("")

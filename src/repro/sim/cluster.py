@@ -39,10 +39,18 @@ class ClusterConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     cpu: CpuConfig = field(default_factory=CpuConfig)
     storage: Optional[StorageConfig] = None
+    # Geo runs: zone of each node (telemetry labels + cross-zone wire
+    # accounting).  None means single-zone.
+    zones: Optional[tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
             raise ValueError("n_nodes must be >= 1")
+        if self.zones is not None and len(self.zones) != self.n_nodes:
+            raise ValueError(
+                f"zones must assign all {self.n_nodes} nodes, "
+                f"got {len(self.zones)} entries"
+            )
 
 
 class ConsistencyViolation(AssertionError):
@@ -58,7 +66,10 @@ class Cluster:
         self.protocol_factory = protocol_factory
         self.loop = EventLoop()
         self.rng = RngRegistry(config.seed)
-        self.network = Network(self.loop, config.n_nodes, config.network, self.rng)
+        self.network = Network(
+            self.loop, config.n_nodes, config.network, self.rng,
+            zones=config.zones,
+        )
         self.nodes: list[SimNode] = []
         for node_id in range(config.n_nodes):
             protocol = protocol_factory(node_id, config.n_nodes)

@@ -76,7 +76,11 @@ class TopologyLatency(LatencyModel):
     """Explicit per-pair base delays (e.g. a WAN matrix) plus jitter.
 
     ``matrix[i][j]`` is the base one-way delay from node ``i`` to node
-    ``j``.  ``jitter`` is the half-width of a uniform perturbation.
+    ``j``.  ``jitter`` is the half-width of a uniform perturbation:
+    samples are ``base + uniform(-jitter, +jitter)``, floored at 0 so a
+    jitter wider than the base delay cannot go negative.  ``jitter=0``
+    draws nothing from the RNG, keeping the default matrix path
+    byte-identical to jitter-free runs.
     """
 
     def __init__(self, matrix: list[list[float]], jitter: float = 0.0) -> None:
@@ -94,5 +98,32 @@ class TopologyLatency(LatencyModel):
             return self.loopback()
         base = self.matrix[src][dst]
         if self.jitter:
-            base += rng.uniform(0.0, self.jitter)
+            base = max(0.0, base + rng.uniform(-self.jitter, self.jitter))
         return base
+
+    @classmethod
+    def from_zones(
+        cls,
+        zones: "tuple[int, ...] | list[int]",
+        intra: float,
+        inter: float,
+        jitter: float = 0.0,
+    ) -> "TopologyLatency":
+        """Compile a zone assignment into a full WAN matrix.
+
+        ``zones[i]`` is the zone of node ``i``; same-zone pairs get the
+        ``intra`` one-way delay, cross-zone pairs ``inter``.  This is
+        the :class:`repro.spec.ClusterSpec` zone-latency shorthand's
+        target representation -- anything finer (per-zone-pair delays)
+        should construct the matrix directly.
+        """
+        if intra < 0 or inter < 0:
+            raise ValueError("zone latencies must be >= 0")
+        matrix = [
+            [
+                0.0 if i == j else (intra if zi == zj else inter)
+                for j, zj in enumerate(zones)
+            ]
+            for i, zi in enumerate(zones)
+        ]
+        return cls(matrix, jitter=jitter)

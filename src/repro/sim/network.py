@@ -71,10 +71,12 @@ class Network:
         n_nodes: int,
         config: NetworkConfig,
         rng: RngRegistry,
+        zones: Optional[tuple[int, ...]] = None,
     ) -> None:
         self.loop = loop
         self.n_nodes = n_nodes
         self.config = config
+        self.zones = zones
         self._rng = rng.stream("network")
         self._receivers: dict[int, Callable[[int, object, int], None]] = {}
         self._crashed: set[int] = set()
@@ -91,6 +93,10 @@ class Network:
         self.messages_dropped = 0
         self.messages_duplicated = 0
         self.bytes_sent = 0
+        # Geo accounting (zones configured): WAN traffic is what a geo
+        # deployment pays for, so the bench reports it separately.
+        self.messages_cross_zone = 0
+        self.bytes_cross_zone = 0
 
     def register(
         self, node_id: int, receiver: Callable[[int, object, int], None]
@@ -153,6 +159,9 @@ class Network:
         """Send ``message`` (``size`` payload bytes) from ``src`` to ``dst``."""
         self.messages_sent += 1
         self.bytes_sent += size
+        if self.zones is not None and self.zones[src] != self.zones[dst]:
+            self.messages_cross_zone += 1
+            self.bytes_cross_zone += size
         if src in self._crashed or dst in self._crashed:
             self.messages_dropped += 1
             return

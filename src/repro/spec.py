@@ -44,6 +44,28 @@ class ConfigError(ValueError):
 
 
 @dataclass(frozen=True)
+class ZoneLatency:
+    """Zone-latency shorthand: two one-way delays instead of a matrix.
+
+    Compiles to :class:`repro.sim.latency.TopologyLatency` via
+    ``from_zones`` -- ``intra`` between same-zone nodes, ``inter``
+    across zones, plus an optional symmetric ``jitter`` half-width.
+    All values are **seconds** of one-way delay (the CLI's ``--zone-*``
+    flags take milliseconds and convert).
+    """
+
+    intra: float = 0.0005
+    inter: float = 0.04
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.intra < 0 or self.inter < 0:
+            raise ValueError("zone latencies must be >= 0")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
+
+
+@dataclass(frozen=True)
 class ClusterSpec:
     """Everything defining one cluster deployment, for either substrate.
 
@@ -67,6 +89,14 @@ class ClusterSpec:
     cpu: CpuConfig = field(default_factory=CpuConfig)
     m2: Optional[M2PaxosConfig] = None
     storage: Optional[StorageConfig] = None
+    # Geo deployments: ``zones[i]`` is the zone (region) of node ``i``.
+    # Drives the zone-latency shorthand below, cross-zone wire counters,
+    # and per-zone telemetry labels.  None means single-zone (the seed).
+    zones: Optional[tuple[int, ...]] = None
+    # Intra/inter-zone latency shorthand; compiled into a
+    # ``TopologyLatency`` matrix that *replaces* ``network.latency`` in
+    # the simulator.  Requires ``zones``.
+    zone_latency: Optional[ZoneLatency] = None
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -79,6 +109,13 @@ class ClusterSpec:
             )
         if self.n_nodes < 1:
             raise ConfigError(f"n_nodes: must be >= 1, got {self.n_nodes}")
+        if self.zones is not None and len(self.zones) != self.n_nodes:
+            raise ConfigError(
+                f"zones: must assign all {self.n_nodes} nodes, "
+                f"got {len(self.zones)} entries"
+            )
+        if self.zone_latency is not None and self.zones is None:
+            raise ConfigError("zone_latency: requires zones to be set")
 
     # ------------------------------------------------------------------
     # Compilation to the per-layer configs
@@ -89,12 +126,24 @@ class ClusterSpec:
         compiles to (simulator substrate)."""
         from repro.sim.cluster import ClusterConfig
 
+        network = self.network
+        if self.zone_latency is not None:
+            from repro.sim.latency import TopologyLatency
+
+            zl = self.zone_latency
+            network = replace(
+                network,
+                latency=TopologyLatency.from_zones(
+                    self.zones, zl.intra, zl.inter, jitter=zl.jitter
+                ),
+            )
         return ClusterConfig(
             n_nodes=self.n_nodes,
             seed=self.seed,
-            network=self.network,
+            network=network,
             cpu=self.cpu,
             storage=self.storage,
+            zones=self.zones,
         )
 
     def protocol_factory(self) -> Callable[[int, int], Protocol]:
@@ -153,11 +202,22 @@ class ClusterSpec:
             kwargs["cpu"] = _section("cpu", data["cpu"], CpuConfig)
         if "m2" in data:
             kwargs["m2"] = _section(
-                "m2", data["m2"], M2PaxosConfig, excluded=("home_hint", "policy")
+                "m2",
+                data["m2"],
+                M2PaxosConfig,
+                excluded=("home_hint", "policy", "quorum"),
             )
         if "storage" in data:
             kwargs["storage"] = _section(
                 "storage", data["storage"], StorageConfig
+            )
+        if "zones" in data:
+            kwargs["zones"] = _check_value(
+                "zones", data["zones"], "Optional[tuple[int, ...]]"
+            )
+        if "zone_latency" in data:
+            kwargs["zone_latency"] = _section(
+                "zone_latency", data["zone_latency"], ZoneLatency
             )
         return cls(**kwargs)
 

@@ -39,12 +39,12 @@ class TestObjectState:
     def test_record_ack_counts_unique_voters(self):
         state = M2PaxosState()
         inst = ("x", 1)
-        assert state.record_ack(inst, 0, (0, 0), voter=1) == 1
-        assert state.record_ack(inst, 0, (0, 0), voter=1) == 1  # duplicate
-        assert state.record_ack(inst, 0, (0, 0), voter=2) == 2
+        assert state.record_ack(inst, 0, (0, 0), voter=1) == {1}
+        assert state.record_ack(inst, 0, (0, 0), voter=1) == {1}  # duplicate
+        assert state.record_ack(inst, 0, (0, 0), voter=2) == {1, 2}
         # Different epoch or command is a separate tally.
-        assert state.record_ack(inst, 1, (0, 0), voter=3) == 1
-        assert state.record_ack(inst, 0, (9, 9), voter=3) == 1
+        assert state.record_ack(inst, 1, (0, 0), voter=3) == {3}
+        assert state.record_ack(inst, 0, (9, 9), voter=3) == {3}
 
 
 class TestDeliveryEngine:

@@ -1,0 +1,179 @@
+"""Tests for the pluggable quorum systems (Fast Flexible Paxos sizing).
+
+The intersection sweeps here are the ISSUE's "prove the flexible
+quorums safe" satellite: exhaustive prepare×accept family checks at
+n = 3..5 for every shipped system, a deliberately broken system to show
+the checkers have teeth, and a BFS model-check run under non-majority
+quorums.
+"""
+
+import pytest
+
+from repro.core.modelcheck import ModelChecker, ModelConfig, verify_intersections
+from repro.core.quorum import (
+    FlexibleQuorums,
+    MajorityQuorums,
+    ZoneQuorums,
+    check_fast_collision_intersections,
+    check_intersections,
+)
+
+
+class TestMajorityQuorums:
+    def test_intersections_n3_to_5(self):
+        results = verify_intersections(MajorityQuorums(), n_lo=3, n_hi=5)
+        assert set(results) == {3, 4, 5}
+        assert all(problems == [] for problems in results.values())
+
+    def test_membership(self):
+        q = MajorityQuorums().build(5)
+        assert q.is_accept_quorum({0, 1, 2})
+        assert not q.is_accept_quorum({0, 1})
+        assert q.is_prepare_quorum({2, 3, 4})
+        # Duplicate voters do not inflate the count.
+        assert not q.is_accept_quorum([0, 0, 0, 1])
+
+    def test_fast_collision_condition_is_strictly_stronger(self):
+        # Plain majorities fail FastPaxos's triple condition (e.g. 2-of-3:
+        # {0,1} ∩ {0,2} ∩ {1,2} = ∅) while passing the pairwise one --
+        # the checker is informational for M2Paxos, whose striped epochs
+        # rule out the uncoordinated same-round races the triple
+        # condition guards against.
+        for n in (3, 5):
+            bound = MajorityQuorums().build(n)
+            assert check_intersections(bound) == []
+            assert check_fast_collision_intersections(bound)
+
+    def test_fast_collision_condition_satisfiable(self):
+        # A supermajority accept family (4-of-5) does satisfy the triple
+        # condition: |f1 ∩ f2| >= 3, and any classic 3-of-5 set must meet
+        # a 3-of-5 set (3 + 3 > 5).
+        bound = FlexibleQuorums(prepare=3, accept=4).build(5)
+        assert check_fast_collision_intersections(bound) == []
+
+
+class TestFlexibleQuorums:
+    def test_wan_config_intersections_n5(self):
+        # The geo bench's config: accept=2 (intra-zone), prepare=4.
+        results = verify_intersections(
+            FlexibleQuorums(prepare=4, accept=2), n_lo=5, n_hi=5
+        )
+        assert results == {5: []}
+
+    def test_safe_splits_all_n(self):
+        # Every prepare + accept > n split binds and validates clean.
+        for n in range(3, 6):
+            for accept in range(1, n + 1):
+                prepare = n - accept + 1
+                bound = FlexibleQuorums(prepare=prepare, accept=accept).build(n)
+                assert check_intersections(bound) == []
+
+    def test_unsafe_split_rejected_at_build(self):
+        # prepare + accept <= n admits disjoint quorums; build refuses.
+        with pytest.raises(ValueError, match="intersection"):
+            FlexibleQuorums(prepare=2, accept=2).build(5)
+
+    def test_unsafe_flag_skips_validation_but_checker_sees_it(self):
+        # unsafe=True exists so tests can hold a broken system and prove
+        # the checkers have teeth.
+        broken = FlexibleQuorums(prepare=2, accept=2, unsafe=True).build(5)
+        problems = check_intersections(broken)
+        assert problems
+        assert "disjoint" in problems[0]
+        results = verify_intersections(
+            FlexibleQuorums(prepare=2, accept=2), n_lo=4, n_hi=5
+        )
+        assert all(problems for problems in results.values())
+
+    def test_oversized_quorum_rejected(self):
+        with pytest.raises(ValueError, match="exceed"):
+            FlexibleQuorums(prepare=6, accept=2).build(5)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            FlexibleQuorums(prepare=0, accept=2)
+        with pytest.raises(ValueError):
+            FlexibleQuorums(prepare=2, accept=-1)
+
+    def test_membership(self):
+        q = FlexibleQuorums(prepare=4, accept=2).build(5)
+        assert q.is_accept_quorum({0, 1})
+        assert not q.is_accept_quorum({3})
+        assert q.is_prepare_quorum({0, 1, 2, 3})
+        assert not q.is_prepare_quorum({0, 1, 2})
+
+
+class TestZoneQuorums:
+    ZONES = (0, 0, 1, 1, 2)
+
+    def test_intersections_at_its_size(self):
+        # The zone map pins n=5; other sizes are skipped, not failed.
+        results = verify_intersections(ZoneQuorums(self.ZONES), n_lo=3, n_hi=5)
+        assert results == {5: []}
+
+    def test_intersections_various_maps(self):
+        for zones in [(0, 1, 2), (0, 0, 1, 1), (0, 0, 0, 1, 1), (0, 1, 2, 3, 4)]:
+            bound = ZoneQuorums(zones).build(len(zones))
+            assert check_intersections(bound) == []
+
+    def test_membership_grid(self):
+        # Z=3, f_Z=1: accept needs *per-zone majorities* in 2 zones,
+        # prepare in 2.  Zone majorities here: {0,1} (both of zone 0),
+        # {2,3} (both of zone 1), {4} (zone 2 alone).
+        q = ZoneQuorums(self.ZONES).build(5)
+        assert q.is_accept_quorum({0, 1, 4})    # zone 0 + zone 2
+        assert q.is_accept_quorum({2, 3, 4})    # zone 1 + zone 2
+        assert not q.is_accept_quorum({0, 1})   # one zone only
+        assert not q.is_accept_quorum({0, 2, 4})  # no majority of 0 or 1
+        assert q.is_prepare_quorum({0, 1, 4})
+        assert not q.is_prepare_quorum({4})     # zone 2 alone is 1 zone
+
+    def test_tolerates_whole_zone_outage(self):
+        # With f_Z=1 the system still has an accept quorum after any
+        # single zone goes dark.
+        q = ZoneQuorums(self.ZONES).build(5)
+        for dead_zone in (0, 1, 2):
+            alive = {
+                node for node, z in enumerate(self.ZONES) if z != dead_zone
+            }
+            assert q.is_accept_quorum(alive)
+            assert q.is_prepare_quorum(alive)
+
+    def test_zone_map_must_match_cluster_size(self):
+        with pytest.raises(ValueError, match="covers"):
+            ZoneQuorums(self.ZONES).build(4)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ZoneQuorums(())
+        with pytest.raises(ValueError):
+            ZoneQuorums((0, 1), zone_faults=2)
+        with pytest.raises(ValueError):
+            ZoneQuorums((0, 1), zone_faults=-1)
+
+
+class TestModelCheckWithQuorumSystems:
+    """BFS state-space search under non-majority quorum families."""
+
+    def test_flexible_quorums_exhaustive_n3(self):
+        config = ModelConfig(
+            n_ballots=1,
+            quorum_system=FlexibleQuorums(prepare=3, accept=1),
+        )
+        states = ModelChecker(config).run()  # raises Violation on failure
+        assert states > 100
+
+    def test_zone_quorums_exhaustive_n3(self):
+        config = ModelConfig(
+            n_ballots=1,
+            quorum_system=ZoneQuorums((0, 1, 2)),
+        )
+        states = ModelChecker(config).run()
+        assert states > 100
+
+    def test_bound_system_size_mismatch_rejected(self):
+        config = ModelConfig(
+            quorum_system=ZoneQuorums((0, 0, 1, 1, 2)).build(5)
+        )
+        with pytest.raises(ValueError, match="bound to n=5"):
+            ModelChecker(config)

@@ -74,12 +74,39 @@ class TestLatencyModels:
         assert model.sample(0, 1, rng) == 0.05
         assert model.sample(1, 0, rng) == 0.08
 
-    def test_topology_jitter_adds_up_to_bound(self):
+    def test_topology_jitter_is_symmetric_half_width(self):
+        # The docstring promises a half-width perturbation: samples land
+        # in [base - jitter, base + jitter], not [base, base + jitter].
         model = TopologyLatency([[0.0, 0.01], [0.01, 0.0]], jitter=0.005)
         rng = random.Random(4)
-        for _ in range(100):
-            sample = model.sample(0, 1, rng)
-            assert 0.01 <= sample <= 0.015
+        samples = [model.sample(0, 1, rng) for _ in range(400)]
+        assert all(0.005 <= s <= 0.015 for s in samples)
+        assert min(samples) < 0.01 < max(samples)  # both sides exercised
+        mean = sum(samples) / len(samples)
+        assert abs(mean - 0.01) < 0.001  # unbiased, not +jitter/2
+
+    def test_topology_jitter_floors_at_zero(self):
+        model = TopologyLatency([[0.0, 0.001], [0.001, 0.0]], jitter=0.01)
+        rng = random.Random(7)
+        assert all(model.sample(0, 1, rng) >= 0.0 for _ in range(200))
+
+    def test_topology_zero_jitter_draws_no_rng(self):
+        # Byte-identity guard: the jitter=0 path must not consume RNG.
+        model = TopologyLatency([[0.0, 0.01], [0.01, 0.0]], jitter=0.0)
+        rng = random.Random(11)
+        before = rng.getstate()
+        assert model.sample(0, 1, rng) == 0.01
+        assert rng.getstate() == before
+
+    def test_from_zones_builds_intra_inter_matrix(self):
+        model = TopologyLatency.from_zones(
+            (0, 0, 1, 1, 2), intra=0.001, inter=0.04
+        )
+        rng = random.Random(0)
+        assert model.sample(0, 1, rng) == 0.001  # same zone
+        assert model.sample(0, 2, rng) == 0.04  # cross zone
+        assert model.sample(4, 0, rng) == 0.04
+        assert model.sample(3, 3, rng) == 0.0  # loopback
 
     def test_topology_rejects_non_square(self):
         with pytest.raises(ValueError):
