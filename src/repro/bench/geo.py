@@ -35,6 +35,27 @@ from repro.consensus.commands import Command
 # the first two, one in the third (5 nodes keeps majority quorums = 3).
 GEO_ZONES = (0, 0, 1, 1, 2)
 HOME_NODE = 0  # every object starts owned here (region 0)
+GEO_INTRA = 0.5e-3  # one-way intra-zone delay (seconds)
+GEO_INTER = 40e-3  # one-way inter-zone delay
+
+
+def zone_rtt_matrix(
+    zones: tuple[int, ...],
+    intra: float = GEO_INTRA,
+    inter: float = GEO_INTER,
+) -> tuple[tuple[float, ...], ...]:
+    """The full n x n RTT matrix the latency-aware quorum picker wants,
+    derived from the same zone map the network model uses (a deployment
+    would measure this; the sim knows it exactly)."""
+    return tuple(
+        tuple(
+            0.0
+            if a == b
+            else 2.0 * (intra if zone_a == zone_b else inter)
+            for b, zone_b in enumerate(zones)
+        )
+        for a, zone_a in enumerate(zones)
+    )
 
 
 class GeoZipfWorkload:
@@ -127,6 +148,7 @@ def run_geo_arm(
     policy=None,
     quorum=None,
     zones: tuple[int, ...] = GEO_ZONES,
+    nearest_accept: bool = False,
 ) -> dict:
     """One geo arm: build, warm (migrations happen here), measure."""
     from repro.bench.harness import protocol_factory
@@ -141,13 +163,15 @@ def run_geo_arm(
         n_nodes=len(zones),
         seed=config.seed,
         zones=zones,
-        zone_latency=ZoneLatency(intra=0.5e-3, inter=40e-3),
+        zone_latency=ZoneLatency(intra=GEO_INTRA, inter=GEO_INTER),
     )
     factory = protocol_factory(
         "m2paxos",
         home_hint=lambda name: HOME_NODE,
         policy=policy,
         quorum=quorum,
+        nearest_accept=nearest_accept,
+        quorum_rtt=zone_rtt_matrix(zones) if nearest_accept else None,
     )
     cluster = Cluster(spec.sim_cluster_config(), factory)
     workload = GeoZipfWorkload(
@@ -208,6 +232,17 @@ def bench_geo(config) -> dict:
         quorum=FlexibleQuorums(prepare=4, accept=2),
         zones=zones,
     )
+    # Satellite arm: same flexible quorum, but the owner *targets* the
+    # accept quorum minimising its worst RTT instead of broadcasting --
+    # with accept=2 of 5 there are ten candidate quorums, and after
+    # migration the minimiser is the owner's own zone.
+    flex_nearest = run_geo_arm(
+        config,
+        policy=lambda: ZoneAffinityPolicy(zones),
+        quorum=FlexibleQuorums(prepare=4, accept=2),
+        zones=zones,
+        nearest_accept=True,
+    )
 
     def improvement(arm: dict) -> float:
         baseline, after = pinned["remote_p50_ms"], arm["remote_p50_ms"]
@@ -221,6 +256,8 @@ def bench_geo(config) -> dict:
         "pinned": pinned,
         "zone_affinity": affinity,
         "zone_affinity_flex": flex,
+        "zone_affinity_flex_nearest": flex_nearest,
         "remote_p50_improvement": improvement(affinity),
         "flex_remote_p50_improvement": improvement(flex),
+        "flex_nearest_remote_p50_improvement": improvement(flex_nearest),
     }

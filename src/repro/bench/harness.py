@@ -43,6 +43,11 @@ def protocol_factory(
     costs=None,
     policy=None,
     quorum=None,
+    lease_duration: float = 0.0,
+    lease_margin: float = 0.002,
+    session_cap: int = 65536,
+    nearest_accept: bool = False,
+    quorum_rtt: Optional[tuple] = None,
 ) -> Callable[[int, int], Protocol]:
     """Benchmark-tuned factory for each protocol under test.
 
@@ -52,7 +57,10 @@ def protocol_factory(
     uses a wire-bound profile to isolate the protocol-layer effect of
     batching).  ``policy`` is an ownership-policy *factory* (zero-arg
     callable -- policies hold per-node state) and ``quorum`` a
-    :class:`~repro.core.quorum.QuorumSystem` spec; both are M2Paxos-only.
+    :class:`~repro.core.quorum.QuorumSystem` spec; both are M2Paxos-only,
+    as are the serving-tier knobs (``lease_duration``/``lease_margin``/
+    ``session_cap``) and latency-aware accept targeting
+    (``nearest_accept`` + ``quorum_rtt``).
     """
     if name == "m2paxos":
         config = M2PaxosConfig(
@@ -70,6 +78,11 @@ def protocol_factory(
             batch_adaptive=batch_adaptive,
             policy=policy,
             quorum=quorum,
+            lease_duration=lease_duration,
+            lease_margin=lease_margin,
+            session_cap=session_cap,
+            nearest_accept=nearest_accept,
+            quorum_rtt=quorum_rtt,
         )
 
         def make_m2(node_id: int, n: int) -> Protocol:
@@ -123,6 +136,17 @@ class PointSpec:
     zones: Optional[tuple[int, ...]] = None
     zone_latency: Optional["ZoneLatency"] = None
     zone_affinity: bool = False
+    # Serving tier (m2paxos only; all off by default, keeping the run
+    # byte-identical to the seed): ownership-lease knobs, the aggregate
+    # client-session count per node (wired into both the workload's
+    # session stamps and the open-loop driver), and latency-aware
+    # accept-quorum targeting.
+    lease_duration: float = 0.0
+    lease_margin: float = 0.002
+    sessions_per_node: int = 0
+    nearest_accept: bool = False
+    quorum_rtt: Optional[tuple] = None
+    quorum: Optional[object] = None
 
     def scaled_for_fast_mode(self) -> "PointSpec":
         """Cheaper variant used when REPRO_BENCH_FAST is set."""
@@ -135,7 +159,15 @@ def fast_mode() -> bool:
 
 def build_workload(spec: PointSpec, rng: RngRegistry):
     if spec.workload == "synthetic":
-        return SyntheticWorkload(spec.synthetic, spec.n_nodes, rng.stream("workload"))
+        synthetic = spec.synthetic
+        if spec.sessions_per_node and not synthetic.sessions_per_node:
+            # One knob drives both halves of the session model: the
+            # workload stamps (client_id, seq) and the client driver
+            # aggregates issuance over the same session count.
+            synthetic = replace(
+                synthetic, sessions_per_node=spec.sessions_per_node
+            )
+        return SyntheticWorkload(synthetic, spec.n_nodes, rng.stream("workload"))
     if spec.workload == "tpcc":
         return TpccWorkload(spec.tpcc, spec.n_nodes, rng.stream("workload"))
     raise ValueError(f"unknown workload {spec.workload!r}")
@@ -223,6 +255,11 @@ def build_run(
             batch_wait=spec.batch_wait,
             costs=costs,
             policy=policy,
+            quorum=spec.quorum,
+            lease_duration=spec.lease_duration,
+            lease_margin=spec.lease_margin,
+            nearest_accept=spec.nearest_accept,
+            quorum_rtt=spec.quorum_rtt,
         ),
     )
     workload_rng = RngRegistry(spec.seed * 7919 + 13)
@@ -235,6 +272,7 @@ def build_run(
             clients_per_node=spec.clients_per_node,
             think_time=spec.think_time,
             max_inflight_per_node=spec.max_inflight,
+            sessions_per_node=spec.sessions_per_node,
         ),
         collector=collector,
     )

@@ -56,6 +56,18 @@ WIRE_BOUND_COSTS = ProtocolCosts(
     per_command_cost=60e-6,
 )
 
+# Profile for the serving-tier comparison: leases remove the *consensus
+# messages* from the read path, so the bench shrinks the per-command
+# client-handling cost (which both arms pay identically, served or not)
+# until the message path dominates -- the same isolation argument the
+# batching bench makes for its wire-bound profile.
+SERVING_COSTS = ProtocolCosts(
+    base_cost=120e-6,
+    serial_fraction=0.03,
+    propose_cost=250e-6,
+    per_command_cost=60e-6,
+)
+
 
 @dataclass
 class PerfConfig:
@@ -69,6 +81,17 @@ class PerfConfig:
     bench_duration: float = 0.4
     bench_warmup: float = 0.4
     runtime_commands: int = 300
+    # runtime_tcp noise control: one unmeasured burn-in run, then the
+    # best of ``tcp_repeats`` measured runs (one-sided noise: background
+    # load only ever slows a run down, so the best is the estimate).
+    tcp_repeats: int = 5
+    # Serving bench: sim read-ratio sweep (leased vs unleased arms per
+    # ratio), plus a runtime pair at 90% reads driven with the same
+    # alternating best-of-N discipline as the telemetry bench.
+    serving_read_ratios: tuple[float, ...] = (0.0, 0.5, 0.9, 0.99)
+    serving_commands: int = 1200
+    serving_repeats: int = 5
+    serving_lease: float = 0.2  # virtual seconds (sim arms)
     storage_records: int = 2048
     # Saturation sweep (bench ``runtime_saturation``): pipeline depths
     # to try and commands per arm.  ``uvloop=True`` runs every runtime
@@ -99,6 +122,12 @@ class PerfConfig:
             bench_duration=0.2,
             bench_warmup=0.25,
             runtime_commands=120,
+            tcp_repeats=3,
+            # The endpoints of the sweep still resolve the speedup the
+            # CI floor checks; the mid-ratio points are full-run detail.
+            serving_read_ratios=(0.0, 0.9),
+            serving_commands=600,
+            serving_repeats=3,
             storage_records=512,
             saturation_depths=(1, 16),
             saturation_commands=360,
@@ -303,36 +332,69 @@ def bench_m2_batching(config: PerfConfig) -> dict:
 def bench_runtime_tcp(config: PerfConfig) -> dict:
     """Commands/sec through asyncio RuntimeNodes on localhost sockets
     (binary codec end to end).  3 nodes keep the quorum math real while
-    staying cheap enough for CI."""
+    staying cheap enough for CI.
+
+    A single cold run of this bench used to swing more than 10x between
+    invocations (cold sockets, allocator and code-cache warmup, and the
+    first-touch ownership acquisitions all landed inside the measured
+    window), which made the derived ``sim_runtime_gap`` datapoint
+    untrustworthy.  It now follows the telemetry bench's discipline:
+    each run warms ownership with an unmeasured pass and parks the GC
+    around the measured region, one whole run is burned in unmeasured,
+    and the reported rate is the **best of N repeats** -- timing noise
+    on a shared box is one-sided, so the best repeat is the closest
+    estimate of the uncontaminated cost (the spread is reported
+    alongside as a dispersion check).
+    """
     from repro.bench.harness import protocol_factory
     from repro.runtime.cluster import LocalCluster, run
 
     n_nodes = 3
-    n_commands = config.runtime_commands
+    per_node = config.runtime_commands // n_nodes
+    warm_per_node = min(64, per_node)
 
-    async def drive() -> float:
+    async def one_run() -> float:
         cluster = LocalCluster(n_nodes, protocol_factory("m2paxos"))
         await cluster.start()
         try:
-            start = time.perf_counter()
-            per_node = n_commands // n_nodes
             for node in range(n_nodes):
-                for i in range(per_node):
+                for i in range(warm_per_node):
                     cluster.propose(
-                        node, Command.make(node, i, [f"o{node}.{i % 8}"])
+                        node,
+                        Command.make(node, 1_000_000 + i, [f"o{node}.{i % 8}"]),
                     )
-            await cluster.wait_delivered(per_node * n_nodes, timeout=60.0)
-            return time.perf_counter() - start
+            await cluster.wait_delivered(warm_per_node * n_nodes, timeout=60.0)
+            already = warm_per_node * n_nodes
+            gc.collect()
+            gc.disable()
+            start = time.perf_counter()
+            try:
+                for node in range(n_nodes):
+                    for i in range(per_node):
+                        cluster.propose(
+                            node, Command.make(node, i, [f"o{node}.{i % 8}"])
+                        )
+                await cluster.wait_delivered(
+                    already + per_node * n_nodes, timeout=60.0
+                )
+                return time.perf_counter() - start
+            finally:
+                gc.enable()
         finally:
             await cluster.stop()
 
-    elapsed = run(drive(), uvloop=config.uvloop)
-    total = (n_commands // n_nodes) * n_nodes
+    run(one_run(), uvloop=config.uvloop)  # burn-in, unmeasured
+    total = per_node * n_nodes
+    runs = [run(one_run(), uvloop=config.uvloop) for _ in range(config.tcp_repeats)]
+    rates = [total / elapsed for elapsed in runs]
     return {
         "nodes": n_nodes,
         "commands": total,
-        "commands_per_sec": total / elapsed,
-        "wall_seconds": elapsed,
+        "repeats": config.tcp_repeats,
+        "commands_per_sec": max(rates),
+        "median_commands_per_sec": statistics.median(rates),
+        "rates": rates,
+        "wall_seconds": min(runs),
     }
 
 
@@ -527,6 +589,179 @@ def bench_telemetry_overhead(config: PerfConfig) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Serving tier: leased owner-local reads
+# ----------------------------------------------------------------------
+
+
+def bench_serving(config: PerfConfig) -> dict:
+    """Leased owner-local reads vs consensus-for-everything, on both
+    substrates.
+
+    Sim side: a read-ratio sweep (``serving_read_ratios``) where each
+    ratio runs two arms under :data:`SERVING_COSTS` -- identical except
+    that one enables ownership leases.  The workload is fully local
+    (``locality=1.0``) so the arms isolate exactly what leases change:
+    whether a read at its owner costs an Accept round or nothing.  The
+    headline ``read_local_speedup`` is the leased/unleased throughput
+    ratio at the 90%-read point, the serving mix the serving tier is
+    built for.
+
+    Runtime side: one 90%-read pair through real asyncio/TCP nodes,
+    driven with the same alternating best-of-N discipline as
+    :func:`bench_telemetry_overhead` (wall-clock noise is one-sided, so
+    per-arm bests are the uncontaminated estimates and the ratio of
+    bests is the datapoint).
+    """
+    from repro.bench.harness import PointSpec, protocol_factory, run_point
+    from repro.runtime.cluster import LocalCluster, run
+    from repro.runtime.driver import PipelineDriver
+    from repro.workloads.synthetic import SyntheticConfig
+
+    def sim_arm(read_fraction: float, leased: bool) -> dict:
+        spec = PointSpec(
+            protocol="m2paxos",
+            n_nodes=config.n_nodes,
+            synthetic=SyntheticConfig(
+                locality=1.0,
+                local_set_size=16,
+                read_fraction=read_fraction,
+            ),
+            clients_per_node=64,
+            think_time=0.002,
+            max_inflight=96,
+            duration=config.bench_duration,
+            warmup=max(config.bench_warmup, 0.4),
+            seed=config.seed,
+            frame_sizes="codec",
+            lease_duration=config.serving_lease if leased else 0.0,
+        )
+        result = run_point(spec, costs=SERVING_COSTS)
+        stats = result.extra["protocol_stats"]
+        summary = {
+            "commands_per_sec": result.throughput,
+            "delivered": result.delivered,
+            "reads_served": result.reads_served,
+            "read_local": sum(s.get("read_local", 0) for s in stats),
+            "read_fallback": sum(s.get("read_fallback", 0) for s in stats),
+        }
+        if result.latency is not None:
+            summary["p50_ms"] = result.latency.p50 * 1e3
+        return summary
+
+    ratios: dict[str, dict] = {}
+    for read_fraction in config.serving_read_ratios:
+        unleased = sim_arm(read_fraction, leased=False)
+        leased = sim_arm(read_fraction, leased=True)
+        ratios[f"{read_fraction:g}"] = {
+            "unleased": unleased,
+            "leased": leased,
+            "speedup": (
+                leased["commands_per_sec"] / unleased["commands_per_sec"]
+                if unleased["commands_per_sec"]
+                else float("inf")
+            ),
+        }
+    # The headline: the 90%-read point when it is in the sweep, else the
+    # most read-heavy ratio measured.
+    headline_rf = (
+        0.9
+        if 0.9 in config.serving_read_ratios
+        else max(config.serving_read_ratios)
+    )
+    read_local_speedup = ratios[f"{headline_rf:g}"]["speedup"]
+
+    # -- runtime pair: 90% reads over asyncio/TCP --------------------
+    n_nodes = 3
+    per_node = config.serving_commands // n_nodes
+    warm_per_node = min(64, per_node)
+
+    async def runtime_arm(leased: bool) -> dict:
+        factory = protocol_factory(
+            "m2paxos",
+            **SATURATION_M2,
+            # Wall-clock lease: long enough that renewals (not expiries)
+            # carry the measured window, short enough to stay honest.
+            lease_duration=0.5 if leased else 0.0,
+            lease_margin=0.005,
+        )
+        cluster = LocalCluster(n_nodes, factory)
+        await cluster.start()
+        try:
+            # Unmeasured writes settle ownership (and, on the leased
+            # arm, establish every object's lease) before measuring.
+            warm = [
+                (node, Command.make(node, 1_000_000 + i, [f"o{node}.{i % 8}"]))
+                for node in range(n_nodes)
+                for i in range(warm_per_node)
+            ]
+            await PipelineDriver(cluster, depth=8).run(warm, timeout=60.0)
+            proposals = [
+                (
+                    node,
+                    Command.make(
+                        node,
+                        i,
+                        [f"o{node}.{i % 8}"],
+                        is_read=(i % 10 != 0),
+                    ),
+                )
+                for node in range(n_nodes)
+                for i in range(per_node)
+            ]
+            driver = PipelineDriver(cluster, depth=16)
+            gc.collect()
+            gc.disable()
+            start = time.perf_counter()
+            try:
+                await driver.run(proposals, timeout=60.0)
+                elapsed = time.perf_counter() - start
+            finally:
+                gc.enable()
+            return {
+                "commands_per_sec": per_node * n_nodes / elapsed,
+                "wall_seconds": elapsed,
+                "reads_local": sum(
+                    len(node.read_log) for node in cluster.nodes
+                ),
+            }
+        finally:
+            await cluster.stop()
+
+    run(runtime_arm(False), uvloop=config.uvloop)  # burn-in, unmeasured
+    repeats: dict[bool, list[dict]] = {False: [], True: []}
+    for round_index in range(config.serving_repeats):
+        order = (False, True) if round_index % 2 == 0 else (True, False)
+        for leased in order:
+            repeats[leased].append(run(runtime_arm(leased), uvloop=config.uvloop))
+    best = {
+        leased: max(runs, key=lambda r: r["commands_per_sec"])
+        for leased, runs in repeats.items()
+    }
+    runtime = {
+        "nodes": n_nodes,
+        "commands": per_node * n_nodes,
+        "read_ratio": 0.9,
+        "repeats": config.serving_repeats,
+        "unleased": best[False],
+        "leased": best[True],
+        "speedup": (
+            best[True]["commands_per_sec"] / best[False]["commands_per_sec"]
+            if best[False]["commands_per_sec"]
+            else float("inf")
+        ),
+    }
+
+    return {
+        "nodes": config.n_nodes,
+        "lease_duration": config.serving_lease,
+        "ratios": ratios,
+        "headline_read_ratio": headline_rf,
+        "read_local_speedup": read_local_speedup,
+        "runtime": runtime,
+    }
+
+
+# ----------------------------------------------------------------------
 # Layer 4: durable storage (fsync batching)
 # ----------------------------------------------------------------------
 
@@ -602,6 +837,7 @@ BENCHES = {
     "runtime_tcp": bench_runtime_tcp,
     "runtime_saturation": bench_runtime_saturation,
     "telemetry_overhead": bench_telemetry_overhead,
+    "serving": bench_serving,
     "storage_fsync": bench_storage_fsync,
     "geo": bench_geo,
 }
@@ -696,6 +932,22 @@ def check_regressions(datapoint: dict) -> list[str]:
             f"full telemetry costs more than 5% of saturation throughput "
             f"(overhead ratio {telemetry['overhead_ratio']:.3f})"
         )
+    serving = results.get("serving")
+    if serving is not None:
+        # Steady-state sim speedup at 90% reads is ~4x; the smoke floor
+        # is looser because its shorter windows resolve the ratio more
+        # coarsely.
+        floor = 2.0 if datapoint.get("smoke") else 3.0
+        if serving["read_local_speedup"] < floor:
+            problems.append(
+                f"serving: leased local reads are not >= {floor}x the "
+                f"lease-disabled arm at {serving['headline_read_ratio']:g} "
+                f"read ratio (speedup {serving['read_local_speedup']:.3f})"
+            )
+        if serving["runtime"]["leased"]["reads_local"] <= 0:
+            problems.append(
+                "serving: runtime leased arm served no local reads"
+            )
     geo = results.get("geo")
     if geo is not None:
         if geo["zone_affinity"]["migrations"] <= 0:
@@ -714,6 +966,17 @@ def check_regressions(datapoint: dict) -> list[str]:
                 f"geo: flexible-quorum arm did not improve remote p50 >= "
                 f"1.3x (got {geo['flex_remote_p50_improvement']:.3f}x)"
             )
+        nearest = geo.get("flex_nearest_remote_p50_improvement")
+        if nearest is not None:
+            # Latency-aware targeting must never regress the broadcast
+            # flexible-quorum arm (5% slack absorbs the run-to-run
+            # wobble of the migration timing, nothing more).
+            if not nearest >= geo["flex_remote_p50_improvement"] * 0.95:
+                problems.append(
+                    f"geo: nearest-quorum targeting regressed the "
+                    f"flexible-quorum arm ({nearest:.3f}x vs "
+                    f"{geo['flex_remote_p50_improvement']:.3f}x)"
+                )
     return problems
 
 

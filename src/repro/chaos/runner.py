@@ -67,6 +67,16 @@ class Scenario:
     zones: Optional[tuple[int, ...]] = None
     zone_latency: Optional[ZoneLatency] = None
     zone_affinity: bool = False
+    # Serving tier: fraction of the workload issued as reads, and the
+    # ownership-lease knobs enabling owner-local serving.  Defaults keep
+    # the workload's RNG draw sequence and the protocol config exactly
+    # as before, so every existing scenario's fingerprint is unchanged.
+    # When both are set the runner additionally audits every served
+    # read against the decided write order (no stale read may be
+    # returned after a lease handoff).
+    read_fraction: float = 0.0
+    lease_duration: float = 0.0
+    lease_margin: float = 0.002
     description: str = ""
 
 
@@ -114,13 +124,30 @@ def _workload(scenario: Scenario) -> list[tuple[float, int, Command]]:
     for round_nr in range(scenario.rounds):
         at = 0.05 + round_nr * scenario.spacing
         for node in range(scenario.n_nodes):
-            if rng.random() < scenario.multi and len(pool) > 1:
+            # The read draw short-circuits at read_fraction == 0.0 so
+            # legacy scenarios consume the exact seed RNG sequence and
+            # keep their pinned fingerprints.
+            is_read = bool(
+                scenario.read_fraction
+                and rng.random() < scenario.read_fraction
+            )
+            if is_read:
+                # Reads are single-object (the stale-read audit indexes
+                # per-object frontiers), placed by the same locality
+                # rule as simple writes.
+                if rng.random() < scenario.locality:
+                    objs = [pool[node % len(pool)]]
+                else:
+                    objs = [rng.choice(pool)]
+            elif rng.random() < scenario.multi and len(pool) > 1:
                 objs = rng.sample(pool, 2)
             elif rng.random() < scenario.locality:
                 objs = [pool[node % len(pool)]]
             else:
                 objs = [rng.choice(pool)]
-            schedule.append((at, node, Command.make(node, round_nr, objs)))
+            schedule.append(
+                (at, node, Command.make(node, round_nr, objs, is_read=is_read))
+            )
     return schedule
 
 
@@ -137,6 +164,55 @@ def _fingerprint(logs: dict[int, list[list[Command]]]) -> str:
                     f"({','.join(sorted(command.ls))})".encode()
                 )
     return digest.hexdigest()
+
+
+def _audit_served_reads(
+    cluster: Cluster,
+    served_reads: list[tuple[int, "Command", object, float]],
+    completions: dict[tuple[int, int], float],
+) -> list[str]:
+    """Linearizability audit for leased reads.
+
+    A served read on object ``o`` returned frontier ``p``: the state
+    after the first ``p`` commands appended on ``o``.  It is stale --
+    a real-time linearizability violation -- if some command at
+    per-object index ``>= p`` had already *completed* (been delivered
+    at its proposer, i.e. acknowledged to a client) strictly before
+    the read was served.  The decided per-object order comes from the
+    live nodes' final delivery logs (the safety checker separately
+    proves all logs agree per object); the longest log per object is
+    used so a freshly restarted node's short log cannot mask a tail.
+    """
+    per_object: dict[str, list["Command"]] = {}
+    for node in cluster.nodes:
+        if node.crashed:
+            continue
+        local: dict[str, list["Command"]] = {}
+        for command in node.delivered:
+            for l in command.ls:
+                local.setdefault(l, []).append(command)
+        for l, order in local.items():
+            if len(order) > len(per_object.get(l, ())):
+                per_object[l] = order
+    violations: list[str] = []
+    for node_id, command, result, at in served_reads:
+        if not isinstance(result, dict):
+            continue
+        for l, frontier in result.items():
+            order = per_object.get(l, [])
+            for index in range(int(frontier), len(order)):
+                done = completions.get(order[index].cid)
+                if done is not None and done < at:
+                    violations.append(
+                        f"stale read: node {node_id} served "
+                        f"{command.cid[0]}.{command.cid[1]} on {l!r} at "
+                        f"t={at:.4f} with frontier {frontier}, but "
+                        f"{order[index].cid[0]}.{order[index].cid[1]} "
+                        f"(index {index} on {l!r}) completed at "
+                        f"t={done:.4f}"
+                    )
+                    break
+    return violations
 
 
 def run_scenario(
@@ -166,6 +242,12 @@ def run_scenario(
             raise ValueError("zone_affinity scenarios require zones")
         protocol_config = replace(
             protocol_config, policy=lambda: ZoneAffinityPolicy(zones)
+        )
+    if scenario.lease_duration > 0.0:
+        protocol_config = replace(
+            protocol_config,
+            lease_duration=scenario.lease_duration,
+            lease_margin=scenario.lease_margin,
         )
     storage_config = storage if storage is not None else scenario.storage
     tmpdir: Optional[str] = None
@@ -216,6 +298,28 @@ def _run_scenario(
         telemetry.subscribe_protocols()
         telemetry.start()
     extra_violations: list[str] = []
+    # Lease runs: capture every served read (owner-local, zero
+    # consensus) and every write completion (first delivery at the
+    # proposer -- the moment a client is acknowledged), for the
+    # stale-read audit after the run.  Listener lists live on the
+    # SimNode, so they survive crash/restart incarnations.
+    lease_audit = scenario.lease_duration > 0.0 and scenario.read_fraction > 0.0
+    served_reads: list[tuple[int, Command, object, float]] = []
+    completions: dict[tuple[int, int], float] = {}
+    if lease_audit:
+
+        def _on_read(
+            node_id: int, command: Command, result: object, now: float
+        ) -> None:
+            served_reads.append((node_id, command, result, now))
+
+        def _on_complete(node_id: int, command: Command, now: float) -> None:
+            if command.proposer == node_id and command.cid not in completions:
+                completions[command.cid] = now
+
+        for sim_node in cluster.nodes:
+            sim_node.read_listeners.append(_on_read)
+            sim_node.deliver_listeners.append(_on_complete)
     cluster.start()
 
     def _restart(node: int, mode: str) -> None:
@@ -312,7 +416,18 @@ def _run_scenario(
         if c.mode == "amnesia" and c.restart_at is not None
     }
     ever_crashed = set(plan.ever_crashed()) | self_crashed
-    must_deliver = [c.cid for c in proposed if c.proposer not in ever_crashed]
+    # Served reads never enter the decision log by design, so reads are
+    # not owed a delivery (a fallback read that did go through consensus
+    # appears in the logs anyway and is prefix-checked like any write).
+    must_deliver = [
+        c.cid
+        for c in proposed
+        if c.proposer not in ever_crashed and not c.is_read
+    ]
+    if lease_audit:
+        extra_violations.extend(
+            _audit_served_reads(cluster, served_reads, completions)
+        )
     report = check_run(
         logs, live, must_deliver=must_deliver, amnesia_nodes=amnesiacs
     )

@@ -180,6 +180,36 @@ SCENARIOS: list[Scenario] = [
         "driving the acquisition path (the HealthDetector's contention "
         "regime)",
     ),
+    Scenario(
+        name="lease-expiry-partition",
+        plan=FaultPlan(
+            partitions=(
+                PartitionWindow(
+                    start=0.15,
+                    end=0.45,
+                    group_a=frozenset({0}),
+                    group_b=frozenset({1, 2, 3, 4}),
+                ),
+            ),
+            crashes=(
+                Crash(at=0.5, node=1, restart_at=0.7, mode="durable"),
+                Crash(at=0.75, node=2, restart_at=0.95, mode="amnesia"),
+            ),
+        ),
+        seed=27,
+        objects=5,
+        locality=0.6,
+        multi=0.0,
+        read_fraction=0.5,
+        lease_duration=0.08,
+        lease_margin=0.01,
+        settle=5.0,
+        description="a leaseholder is partitioned away while others "
+        "write its objects (acquisition must wait out the lease), then "
+        "two holders crash mid-lease and rejoin durable and amnesiac; "
+        "the runner audits every locally served read against the "
+        "decided write order -- no stale read across any handoff",
+    ),
     # ------------------------------------------------------------------
     # Durable-storage scenarios: each node runs a real segmented log
     # (in-memory by default so the suite stays deterministic; the CLI

@@ -81,6 +81,7 @@ def _spec_from_args(args, protocol: str) -> PointSpec:
             locality=args.locality,
             complex_fraction=args.complex,
             local_set_size=args.local_set,
+            read_fraction=args.read_fraction,
         ),
         tpcc=TpccConfig(remote_warehouse_prob=args.remote),
         duration=args.duration,
@@ -91,6 +92,8 @@ def _spec_from_args(args, protocol: str) -> PointSpec:
         zones=zones,
         zone_latency=zone_latency,
         zone_affinity=getattr(args, "zone_affinity", False),
+        lease_duration=args.leases,
+        sessions_per_node=args.sessions,
     )
     if args.saturate:
         spec = saturated_spec(spec)
@@ -138,6 +141,22 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
         help="run the zone-aware ownership-migration policy "
              "(m2paxos only; requires --zones)",
     )
+    parser.add_argument(
+        "--read-fraction", dest="read_fraction", type=float, default=0.0,
+        help="fraction of synthetic commands that are reads (0..1)",
+    )
+    parser.add_argument(
+        "--leases", type=float, default=0.0,
+        help="ownership-lease duration in virtual seconds; a leased "
+             "owner answers reads locally with zero consensus messages "
+             "(m2paxos only; 0 = off)",
+    )
+    parser.add_argument(
+        "--sessions", type=int, default=0,
+        help="exactly-once client sessions per node: commands carry "
+             "(client_id, seq) stamps and duplicate retries replay the "
+             "cached result (0 = off)",
+    )
     _add_storage_args(parser)
 
 
@@ -162,7 +181,8 @@ def _add_storage_args(parser: argparse.ArgumentParser) -> None:
 
 
 _RUN_COLUMNS = [
-    "protocol", "throughput", "p50_ms", "p95_ms", "fast%", "inflight", "messages", "MB",
+    "protocol", "throughput", "p50_ms", "p95_ms", "fast%", "reads",
+    "inflight", "messages", "MB",
 ]
 
 
@@ -173,6 +193,7 @@ def _row(protocol: str, result) -> dict:
         "p50_ms": result.latency.p50 * 1e3 if result.latency else float("nan"),
         "p95_ms": result.latency.p95 * 1e3 if result.latency else float("nan"),
         "fast%": result.fast_ratio * 100,
+        "reads": result.reads_served,
         "inflight": result.inflight,
         "messages": result.messages_sent,
         "MB": result.bytes_sent / 1e6,
@@ -557,6 +578,17 @@ def cmd_perf(args) -> int:
                      "value": telemetry["on"]["commands_per_sec"]})
         rows.append({"bench": "telemetry overhead ratio",
                      "value": telemetry["overhead_ratio"]})
+    if "serving" in results:
+        serving = results["serving"]
+        for ratio, entry in serving["ratios"].items():
+            rows.append({"bench": f"serving {ratio} reads leased cmds/sec",
+                         "value": entry["leased"]["commands_per_sec"]})
+            rows.append({"bench": f"serving {ratio} reads speedup",
+                         "value": entry["speedup"]})
+        rows.append({"bench": "serving read_local speedup",
+                     "value": serving["read_local_speedup"]})
+        rows.append({"bench": "serving runtime speedup (90% reads)",
+                     "value": serving["runtime"]["speedup"]})
     if "geo" in results:
         geo = results["geo"]
         rows.append({"bench": "geo pinned remote p50 ms",
@@ -569,6 +601,8 @@ def cmd_perf(args) -> int:
                      "value": geo["remote_p50_improvement"]})
         rows.append({"bench": "geo flex remote p50 improvement",
                      "value": geo["flex_remote_p50_improvement"]})
+        rows.append({"bench": "geo flex+nearest remote p50 improvement",
+                     "value": geo["flex_nearest_remote_p50_improvement"]})
     print_table(f"perf ({', '.join(results) or 'none'})", rows, ["bench", "value"])
     print(f"datapoint: {path}")
 
@@ -749,7 +783,7 @@ def main(argv=None) -> int:
         "benches", nargs="*",
         help="subset to run: sim codec m2_batching runtime_tcp "
              "runtime_saturation storage_fsync telemetry_overhead "
-             "(default: all)",
+             "serving geo (default: all)",
     )
     perf_parser.add_argument("--seed", type=int, default=1)
     perf_parser.add_argument(

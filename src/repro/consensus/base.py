@@ -600,6 +600,20 @@ class Env(ABC):
     def _deliver(self, command: Command) -> None:
         """Substrate-specific delivery (append + listener fan-out)."""
 
+    def deliver_read(self, command: Command, result: object) -> None:
+        """Hand a locally-served (leased) read result to the application.
+
+        Served reads never enter the decision log: they are answered
+        from the owner's already-appended state, and only at the owner,
+        so routing them through :meth:`deliver` would make this node's
+        delivered sequence diverge from every other node's.  Substrates
+        keep a separate read log and listener list; envs without one
+        (unit-test stubs) drop the result."""
+        self._deliver_read(command, result)
+
+    def _deliver_read(self, command: Command, result: object) -> None:
+        """Substrate-specific read delivery (default: drop)."""
+
     @property
     @abstractmethod
     def rng(self) -> random.Random:

@@ -11,7 +11,7 @@ everywhere.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable
+from typing import FrozenSet, Iterable, Optional
 
 
 @dataclass(frozen=True)
@@ -25,6 +25,13 @@ class Command:
     their transaction parameters).
     ``proposer``: node that first proposed the command, used by the
     metrics layer to attribute latency.
+    ``is_read``: a read-only command.  Reads never mutate state, so an
+    owner holding a valid lease may answer them locally without a
+    consensus round; without a lease they run as ordinary commands.
+    ``session``: optional ``(client_id, seq)`` exactly-once identity.
+    Client seqs are issued in order per client; the serving tier's dedup
+    table uses them to answer retries from cache instead of re-running
+    the command.
     """
 
     cid: tuple[int, int]
@@ -32,6 +39,8 @@ class Command:
     payload_bytes: int = 16
     proposer: int = 0
     noop: bool = False
+    is_read: bool = False
+    session: Optional[tuple[int, int]] = None
 
     def __post_init__(self) -> None:
         if not self.ls:
@@ -45,6 +54,8 @@ class Command:
         seq: int,
         objects: Iterable[str],
         payload_bytes: int = 16,
+        is_read: bool = False,
+        session: Optional[tuple[int, int]] = None,
     ) -> "Command":
         """Convenience constructor used by workload generators."""
         return Command(
@@ -52,6 +63,8 @@ class Command:
             ls=frozenset(objects),
             payload_bytes=payload_bytes,
             proposer=proposer,
+            is_read=is_read,
+            session=session,
         )
 
     def conflicts(self, other: "Command") -> bool:

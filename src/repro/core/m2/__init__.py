@@ -50,6 +50,7 @@ from repro.core.m2.durability import DurabilityMixin
 from repro.core.m2.ownership import OwnershipMixin
 from repro.core.m2.proposer import ProposerMixin
 from repro.core.m2.recovery import RecoveryMixin
+from repro.core.m2.serving import ServingMixin
 from repro.core.state import M2PaxosState
 
 __all__ = [
@@ -61,6 +62,7 @@ __all__ = [
     "OwnershipMixin",
     "ProposerMixin",
     "RecoveryMixin",
+    "ServingMixin",
 ]
 
 
@@ -69,6 +71,7 @@ class M2Paxos(
     AcceptorMixin,
     OwnershipMixin,
     RecoveryMixin,
+    ServingMixin,
     DurabilityMixin,
     Protocol,
 ):
@@ -123,6 +126,7 @@ class M2Paxos(
         # Our own proposals not yet fully decided -- the depth gauge
         # behind ``config.batch_adaptive`` (see _effective_batch_wait).
         self._inflight_cids: set[tuple[int, int]] = set()
+        self._init_serving()
         # Diagnostics consumed by the benchmark harness.
         self.stats = {
             "fast_path": 0,
@@ -132,6 +136,10 @@ class M2Paxos(
             "accept_nacks": 0,
             "prepare_nacks": 0,
             "gap_recoveries": 0,
+            "read_local": 0,
+            "read_fallback": 0,
+            "session_hit": 0,
+            "session_evict": 0,
         }
 
     # ------------------------------------------------------------------
@@ -147,6 +155,7 @@ class M2Paxos(
     def on_start(self) -> None:
         if self.config.gap_recovery:
             self._schedule_gap_check()
+        self._serving_on_start()
 
     def on_restart(self) -> None:
         """Durable-log reboot: ``self.state`` (promises, accepted values,
@@ -168,6 +177,7 @@ class M2Paxos(
         self._batch_cids.clear()
         self._batch_timer = None  # already cancelled by the substrate
         self._inflight_cids.clear()
+        self._serving_on_restart()
 
     def processing_cost(self, message):
         """Charge multi-command rounds for their extra commands.

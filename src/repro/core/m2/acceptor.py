@@ -115,6 +115,20 @@ class AcceptorMixin:
                 obj.owner_epoch = epoch
                 obj.promised = max(obj.promised, epoch)
                 obj.epoch = max(obj.epoch, epoch)
+                if self.config.lease_duration > 0.0 and not self._replaying:
+                    # Absorbing a leadership-round accept doubles as a
+                    # read-lease grant: the sender provably holds the
+                    # object's current epoch, and counting the window
+                    # from *our receipt clock* keeps it a superset of
+                    # the owner's send-clock window under bounded skew
+                    # (see DESIGN.md, Serving tier).  Replay never
+                    # re-grants: grants are deliberately volatile and a
+                    # restarted acceptor runs the lease blackout instead.
+                    obj.lease_holder = sender
+                    obj.lease_epoch = epoch
+                    obj.lease_until = (
+                        self.env.now() + self.config.lease_duration
+                    )
             obj.observe_position(position)
             self.state.gap_candidates.add(l)
 
@@ -122,6 +136,19 @@ class AcceptorMixin:
 
     @handles(Prepare)
     def _on_prepare(self, sender: int, msg: Prepare) -> None:
+        if self.config.lease_duration > 0.0:
+            # Serving tier: a Prepare that would dethrone (or, for
+            # scoped rounds, decide behind the back of) a leased owner
+            # is *parked* until the grant runs out or the owner releases
+            # it -- this is the acceptor-side half of the lease
+            # invariant.  The holder's own objects never park the
+            # message when this node IS the holder: processing it moves
+            # our promise, which stops our local reads synchronously and
+            # triggers the explicit ReleaseLease revoke.
+            wake = self._lease_block_until(sender, msg.eps)
+            if wake is not None:
+                self._park_prepare(sender, msg, wake)
+                return
         refused = False
         max_rnd = 0
         for inst, epoch in msg.eps.items():
@@ -181,6 +208,12 @@ class AcceptorMixin:
         # the new leader learns the log tail.  Without this, the new
         # owner could run fast-path rounds over instances where an
         # older-epoch quorum already chose a value it never saw.
+        if self.config.lease_duration > 0.0 and sender != self.env.node_id:
+            # We may hold read leases on some of these objects; promising
+            # a foreign ownership round ends our tenure, so stop serving
+            # *before* the promise leaves and tell the granters to wake
+            # any parked acquisition (the explicit-revoke path).
+            self._self_revoke_leases(inst[0] for inst in msg.eps)
         decs: dict[Instance, tuple[Optional[Command], int, tuple[Instance, ...]]] = {}
         for inst, epoch in msg.eps.items():
             l, position = inst
@@ -290,6 +323,14 @@ class AcceptorMixin:
         self._attempts.pop(command.cid, None)
         self._assigned.pop(command.cid, None)
         if not command.noop:
+            # Serving tier bookkeeping rides the append path so it is a
+            # pure function of the delivered sequence: every node -- and
+            # every replayed incarnation -- converges on the same read
+            # frontier and session table.
+            for l in command.ls:
+                self.state.obj(l).reads_frontier += 1
+            if command.session is not None:
+                self._session_record(command)
             if command.proposer != self.env.node_id:
                 # Exactly-once "decision elsewhere" signal for the
                 # ownership policy (appends happen once per command per

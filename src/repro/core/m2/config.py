@@ -91,6 +91,46 @@ class M2PaxosConfig:
     # classic-majority pair.  Bound to the cluster size (and validated
     # against the prepare∩accept intersection condition) at bind time.
     quorum: Optional[object] = None
+    # ------------------------------------------------------------------
+    # Serving tier (leased owner-local reads + exactly-once sessions).
+    # ------------------------------------------------------------------
+    # Ownership leases: > 0 enables time-bounded read leases.  Every
+    # positive AckAccept (and AckRenew heartbeat) grants the owner the
+    # right to serve linearizable reads on its objects locally -- zero
+    # consensus messages -- for ``lease_duration`` seconds counted from
+    # the owner's *send* clock, while each granting acceptor refuses (or
+    # parks) ownership-moving Prepares for ``lease_duration`` counted
+    # from its *receipt* clock.  Send time <= receipt time in real time,
+    # so the owner's window ends before any granter's as long as clocks
+    # agree to within ``lease_margin``, which the owner additionally
+    # subtracts from its own window.  0.0 (the default) disables every
+    # lease code path: no timers, no extra messages, no RNG draws --
+    # decision logs stay byte-identical to the seed.
+    lease_duration: float = 0.0
+    # Conservative clock-skew margin: the owner stops serving reads
+    # ``lease_margin`` before its lease nominally expires.  Must be >=
+    # the worst pairwise clock skew for reads to be linearizable.
+    lease_margin: float = 0.002
+    # Idle renewal cadence as a fraction of ``lease_duration``; the
+    # owner's heartbeat timer re-grants leases on owned objects that
+    # accept traffic has not refreshed recently.
+    lease_renew_fraction: float = 0.34
+    # Exactly-once session table bound (satellite: 10^6 sessions must
+    # not OOM a node): beyond ``session_cap`` live client entries the
+    # least-recently-active session is evicted (counted in telemetry).
+    # Entries are O(1) each -- a watermark plus the last cached result.
+    session_cap: int = 65536
+    # Latency-aware accept-quorum selection: when the quorum system
+    # admits several accept quorums, send the first attempt of each
+    # non-scoped Accept round only to the quorum minimising the worst
+    # RTT from this node (plus ourselves), instead of broadcasting.
+    # Retries always broadcast, so liveness never hinges on the
+    # preferred quorum.  Requires ``quorum_rtt``: a full n x n matrix of
+    # one-way latencies (seconds), identical on every node -- protocols
+    # cannot see the network model, so the deployment passes its
+    # topology in.  Off by default: broadcast, byte-identical to seed.
+    nearest_accept: bool = False
+    quorum_rtt: Optional[tuple] = None
 
 
 @dataclass
@@ -105,6 +145,10 @@ class _PendingAccept:
     # Batched rounds: every command of the batch, each re-coordinated
     # individually on NACK (``command`` stays None for them).
     batch: tuple[Command, ...] = ()
+    # Lease bookkeeping: owner-clock send time of the Accept broadcast.
+    # A positive ack renews the sender's grant from this timestamp (the
+    # conservative end of the skew interval); 0.0 when leases are off.
+    sent_at: float = 0.0
 
 
 @dataclass

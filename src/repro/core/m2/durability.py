@@ -165,10 +165,23 @@ class DurabilityMixin:
         # The snapshot's object states already hold the final ``appended``
         # pointers, so the C-struct is re-seated without re-pumping; the
         # env re-delivers each command so the application log is rebuilt
-        # in the original order.
-        for command in value["cstruct"]:
-            self.delivery.restore_append(command)
-            if not command.noop:
-                self.env.deliver(command)
+        # in the original order.  The serving tier's read frontiers and
+        # session dedup table are pure functions of this sequence, so
+        # re-walking it rebuilds both exactly as the dead incarnation
+        # had them -- truncation-safe with no extra snapshot payload
+        # (the log tail after the snapshot replays through the ordinary
+        # append path, which maintains the same state).
+        self._replaying = True
+        try:
+            for command in value["cstruct"]:
+                self.delivery.restore_append(command)
+                if not command.noop:
+                    for l in command.ls:
+                        self.state.obj(l).reads_frontier += 1
+                    if command.session is not None:
+                        self._session_record(command)
+                    self.env.deliver(command)
+        finally:
+            self._replaying = False
         self._req_counter = value["req"]
         self._noop_counter = value["noop"]

@@ -187,6 +187,12 @@ class OwnershipMixin:
                 del selected[inst]
                 eps.pop(inst, None)
 
+        if pending.kind == "acquisition":
+            # Serving tier: the quorum's reports just taught us the
+            # objects' full tails; pin each object's serve floor so
+            # leased reads wait for the local log to cover them.
+            self._note_tenure_established(l for (l, _p) in pending.eps)
+
         round_insts = set(eps)
         target = pending.command
 

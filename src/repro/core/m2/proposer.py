@@ -24,6 +24,11 @@ class ProposerMixin:
     # ------------------------------------------------------------------
 
     def propose(self, command: Command) -> None:
+        if self._intercept_propose(command):
+            # Serving tier: a leased owner-local read, or a session
+            # retry answered from the dedup cache -- either way the
+            # command is complete with zero consensus messages.
+            return
         self.policy.on_local_request(self.env.node_id, command)
         # In-flight gauge feeding the adaptive batch_wait: our own
         # proposals not yet fully decided (pruned in ``_decide``).
@@ -399,16 +404,28 @@ class ProposerMixin:
             eps={inst: eps[inst] for inst in to_decide},
             scoped=scoped,
             batch=batch,
+            # Owner-clock send stamp: positive acks renew the sender's
+            # lease grants from this (conservative) end of the window.
+            sent_at=(
+                self._lease_now() if self.config.lease_duration > 0.0 else 0.0
+            ),
         )
-        self.env.broadcast(
-            Accept(
-                req=req,
-                to_decide=dict(to_decide),
-                eps={inst: eps[inst] for inst in to_decide},
-                cmd_ins=cmd_ins or {},
-                scoped=scoped,
-            )
+        msg = Accept(
+            req=req,
+            to_decide=dict(to_decide),
+            eps={inst: eps[inst] for inst in to_decide},
+            cmd_ins=cmd_ins or {},
+            scoped=scoped,
         )
+        targets = self._accept_targets(retry_command, scoped)
+        if targets is None:
+            self.env.broadcast(msg)
+        else:
+            # Latency-aware quorum targeting: first attempts go to the
+            # min-max-RTT accept quorum only; everyone else learns via
+            # the Decide broadcast (and the learn-resend sweep).
+            for dst in targets:
+                self.env.send(dst, msg)
 
     @handles(AckAccept)
     def _on_ack_accept(self, sender: int, msg: AckAccept) -> None:
@@ -435,6 +452,10 @@ class ProposerMixin:
             ours = self._pending_accepts.get(msg.req)
             if ours is not None:
                 ours.acked.add(sender)
+                if ours.sent_at and not ours.scoped:
+                    # The acceptor absorbed our leadership round, which
+                    # doubles as a lease grant on its side; mirror it.
+                    self._record_lease_grants(sender, ours)
 
         # Count votes per instance; with ack_to_all every node runs this
         # and learns in two delays (Algorithm 3, lines 6-10); otherwise

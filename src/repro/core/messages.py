@@ -106,6 +106,45 @@ class Prepare(Message):
 
 
 @dataclass(frozen=True)
+class RenewLease(Message):
+    """RENEWLEASE: keep owner-local reads alive through idle periods.
+
+    ``objs`` maps each object to the epoch the sender owns it under.
+    Each receiving acceptor that still recognises the sender as the
+    current owner re-grants a read lease for the configured duration,
+    counted from its *own* receipt clock (the owner counts from its send
+    clock minus the skew margin, which is what makes the lease safe
+    under bounded clock skew).  Accept traffic renews leases implicitly;
+    this message only exists for read-heavy objects with no writes in
+    flight.
+    """
+
+    req: int
+    objs: dict[str, int]
+
+
+@dataclass(frozen=True)
+class AckRenew(Message):
+    """ACKRENEW: the subset of requested objects this acceptor granted."""
+
+    req: int
+    granted: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ReleaseLease(Message):
+    """RELEASELEASE: an owner voluntarily gives its lease back early.
+
+    Sent after the owner has *already* stopped serving local reads
+    (its own promise record moved past the leased epoch), so acceptors
+    may clear their grants and let a parked acquisition proceed without
+    waiting out the wall-clock expiry.
+    """
+
+    objs: dict[str, int]
+
+
+@dataclass(frozen=True)
 class AckPrepare(Message):
     """ACKPREPARE: Paxos phase 1b over all requested instances.
 

@@ -49,6 +49,23 @@ class ObjectState:
     next_slot: int = 1
     decided: dict[int, Command] = field(default_factory=dict)
     last_progress: float = 0.0  # for gap-recovery timeouts
+    # Acceptor-side read-lease grant (serving tier; inert unless the
+    # config enables leases).  While ``lease_until`` (this node's clock)
+    # lies in the future, ownership-moving Prepares from nodes other
+    # than ``lease_holder`` are parked rather than promised, which is
+    # what makes the holder's local reads linearizable.  Deliberately
+    # volatile: a restarted acceptor instead refuses early promises for
+    # one full lease window (the lease blackout), so forgetting grants
+    # across a crash can never un-protect a live lease.
+    lease_holder: Optional[int] = None
+    lease_epoch: int = 0
+    lease_until: float = 0.0
+    # Serving-tier read frontier: count of non-noop commands delivered
+    # on this object, the "result" a leased local read observes (and
+    # what the chaos stale-read audit compares against the decided
+    # write log).  Maintained unconditionally at append time so session
+    # results stay a pure function of the delivered sequence.
+    reads_frontier: int = 0
 
     def observe_position(self, position: int) -> None:
         """Keep ``next_slot`` strictly ahead of any used position."""

@@ -54,6 +54,10 @@ class RunResult:
     # Commands proposed but never delivered anywhere by the end of the
     # run (lost, or still in flight when the window closed).
     inflight: int = 0
+    # Reads answered locally by a leased owner (plus exactly-once
+    # session replays): completed client operations that never enter the
+    # decision log, counted into ``throughput`` alongside ``delivered``.
+    reads_served: int = 0
 
     @property
     def avg_batch_size(self) -> float:
@@ -84,11 +88,15 @@ class MetricsCollector:
         self._first_delivery: set[tuple[int, int]] = set()
         self._latencies: list[float] = []
         self._window_delivered = 0
+        self._window_reads = 0
         self._window_start: Optional[float] = None
         self._window_end: Optional[float] = None
         self.proposed = 0
         for node in cluster.nodes:
             node.deliver_listeners.append(self._on_deliver)
+            listeners = getattr(node, "read_listeners", None)
+            if listeners is not None:
+                listeners.append(self._on_read)
 
     # ------------------------------------------------------------------
 
@@ -119,6 +127,18 @@ class MetricsCollector:
             if start is not None and self._in_window(now):
                 self._latencies.append(now - start)
 
+    def _on_read(
+        self, node_id: int, command: Command, result: object, now: float
+    ) -> None:
+        """A leased read (or session replay) completed at its proposer
+        without entering the decision log: count it as a finished client
+        operation and measure its latency like any other command."""
+        if self._in_window(now):
+            self._window_reads += 1
+        start = self._propose_times.pop(command.cid, None)
+        if start is not None and self._in_window(now):
+            self._latencies.append(now - start)
+
     # ------------------------------------------------------------------
 
     @property
@@ -132,6 +152,12 @@ class MetricsCollector:
                 node.deliver_listeners.remove(self._on_deliver)
             except ValueError:
                 pass
+            listeners = getattr(node, "read_listeners", None)
+            if listeners is not None:
+                try:
+                    listeners.remove(self._on_read)
+                except ValueError:
+                    pass
         self.obs.detach()
 
     def result(self) -> RunResult:
@@ -152,7 +178,7 @@ class MetricsCollector:
         return RunResult(
             duration=duration,
             delivered=self._window_delivered,
-            throughput=self._window_delivered / duration,
+            throughput=(self._window_delivered + self._window_reads) / duration,
             latency=latency,
             messages_sent=messages_sent,
             bytes_sent=bytes_sent,
@@ -163,4 +189,5 @@ class MetricsCollector:
             wire_bytes=self.obs.wire_bytes,
             paths=self.obs.path_stats(self._window_start, end),
             inflight=len(self._propose_times),
+            reads_served=self._window_reads,
         )

@@ -259,6 +259,20 @@ class ObsCollector(EnvObserver):
                 )
 
     def on_note(self, node_id: int, kind: str, fields: dict) -> None:
+        if kind in ("read_local", "session_hit"):
+            # A leased owner-local read (or an exactly-once session
+            # replay) completes at its proposer without ever being
+            # decided or delivered: close its trace here so the
+            # per-path breakdown shows the consensus-free path
+            # explicitly instead of leaking the command as "inflight".
+            trace = self.traces.get(fields.get("cid"))
+            if trace is not None and trace.first_delivered_at is None:
+                now = self.clock.now()
+                trace.observe_path(kind)
+                trace.first_delivered_at = now
+                if node_id == trace.proposer:
+                    trace.delivered_at = now
+            return
         if kind == "path":
             trace = self.traces.get(fields["cid"])
             if trace is not None:

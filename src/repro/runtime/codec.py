@@ -87,15 +87,21 @@ def _encode_value(value: Any) -> Any:
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     if isinstance(value, Command):
-        return {
-            "__cmd__": [
-                list(value.cid),
-                sorted(value.ls),
-                value.payload_bytes,
-                value.proposer,
-                value.noop,
-            ]
-        }
+        encoded = [
+            list(value.cid),
+            sorted(value.ls),
+            value.payload_bytes,
+            value.proposer,
+            value.noop,
+        ]
+        if value.is_read or value.session is not None:
+            # Serving-tier fields ride as a trailing extension so frames
+            # for plain commands stay byte-identical to older peers.
+            encoded.append(value.is_read)
+            encoded.append(
+                list(value.session) if value.session is not None else None
+            )
+        return {"__cmd__": encoded}
     if isinstance(value, tuple):
         return {"__tup__": [_encode_value(v) for v in value]}
     if isinstance(value, (set, frozenset)):
@@ -125,13 +131,18 @@ def _decode_value(value: Any) -> Any:
     if isinstance(value, list):
         return [_decode_value(v) for v in value]
     if "__cmd__" in value:
-        cid, ls, payload, proposer, noop = value["__cmd__"]
+        encoded = value["__cmd__"]
+        cid, ls, payload, proposer, noop = encoded[:5]
+        is_read = encoded[5] if len(encoded) > 5 else False
+        session = encoded[6] if len(encoded) > 6 else None
         return Command(
             cid=tuple(cid),
             ls=frozenset(ls),
             payload_bytes=payload,
             proposer=proposer,
             noop=noop,
+            is_read=is_read,
+            session=tuple(session) if session is not None else None,
         )
     if "__tup__" in value:
         return tuple(_decode_value(v) for v in value["__tup__"])
@@ -242,6 +253,17 @@ def _encode_command_body(command: Command) -> bytes:
         _write_uvarint(out, command.payload_bytes)
         _write_svarint(out, command.proposer)
         out.append(1 if command.noop else 0)
+        if command.is_read or command.session is not None:
+            # Trailing serving-tier extension: the body is length-framed,
+            # so old decoders never see it and plain commands encode
+            # byte-identically with or without this codec version.
+            flags = (1 if command.is_read else 0) | (
+                2 if command.session is not None else 0
+            )
+            out.append(flags)
+            if command.session is not None:
+                _write_svarint(out, command.session[0])
+                _write_svarint(out, command.session[1])
         body = bytes(out)
         object.__setattr__(command, "_bin_body", body)
     return body
@@ -328,12 +350,27 @@ def _decode_command_body(body: bytes) -> Command:
     u, pos = _read_uvarint(buf, pos)
     proposer = _unzigzag(u)
     noop = bool(buf[pos])
+    pos += 1
+    is_read = False
+    session = None
+    if pos < len(body):
+        flags = buf[pos]
+        pos += 1
+        is_read = bool(flags & 1)
+        if flags & 2:
+            u, pos = _read_uvarint(buf, pos)
+            sess_client = _unzigzag(u)
+            u, pos = _read_uvarint(buf, pos)
+            sess_seq = _unzigzag(u)
+            session = (sess_client, sess_seq)
     command = Command(
         cid=(cid_a, cid_b),
         ls=frozenset(ls),
         payload_bytes=payload,
         proposer=proposer,
         noop=noop,
+        is_read=is_read,
+        session=session,
     )
     if len(_CMD_DECODE_CACHE) >= _CMD_DECODE_CACHE_CAP:
         _CMD_DECODE_CACHE.clear()

@@ -75,6 +75,12 @@ class PipelineDriver:
         self.completed += 1
         self._wake.set()
 
+    def _on_read(self, node_id: int, command: Command, result, now: float) -> None:
+        # Serving tier: a leased local read (or session replay) answers
+        # on the read channel, never through the decision log -- it
+        # frees its window slot exactly like a delivery.
+        self._on_deliver(node_id, command, now)
+
     async def _await_wake(self, timeout: float) -> None:
         self._wake.clear()
         await asyncio.wait_for(self._wake.wait(), timeout)
@@ -122,9 +128,12 @@ class PipelineDriver:
         for node_id, command in proposals:
             by_node.setdefault(node_id, []).append(command)
         listener = self._on_deliver
+        read_listener = self._on_read
         for node_id in by_node:
             self._inflight.setdefault(node_id, 0)
-            self.cluster.nodes[node_id].deliver_listeners.append(listener)
+            node = self.cluster.nodes[node_id]
+            node.deliver_listeners.append(listener)
+            node.read_listeners.append(read_listener)
         try:
             await asyncio.gather(
                 *(
@@ -134,6 +143,8 @@ class PipelineDriver:
             )
         finally:
             for node_id in by_node:
-                listeners = self.cluster.nodes[node_id].deliver_listeners
-                if listener in listeners:
-                    listeners.remove(listener)
+                node = self.cluster.nodes[node_id]
+                if listener in node.deliver_listeners:
+                    node.deliver_listeners.remove(listener)
+                if read_listener in node.read_listeners:
+                    node.read_listeners.remove(read_listener)

@@ -117,6 +117,9 @@ class RuntimeEnv(Env):
         for listener in self._node.deliver_listeners:
             listener(self.node_id, command, now)
 
+    def _deliver_read(self, command: Command, result: object) -> None:
+        self._node.on_read(command, result)
+
     @property
     def rng(self) -> random.Random:
         return self._rng
@@ -148,6 +151,13 @@ class RuntimeNode:
         # Same shape as SimNode's: ``listener(node_id, command, now)``,
         # so one metrics collector serves both substrates.
         self.deliver_listeners: list[Callable[[int, Command, float], None]] = []
+        # Locally-served (leased) reads and exactly-once session replays,
+        # kept apart from ``delivered``: served reads happen at the owner
+        # alone and never enter the replicated decision log.
+        self.read_log: list[tuple[Command, object]] = []
+        self.read_listeners: list[
+            Callable[[int, Command, object, float], None]
+        ] = []
         # Optional chaos shim (repro.chaos.injector.WireFaults): maps
         # ``(src, dst, now)`` to the delay offsets of the copies of each
         # outbound message -- [] drops, [0.0] passes, more duplicates.
@@ -316,6 +326,15 @@ class RuntimeNode:
             return
         self.env.observe_propose(command)
         self.run_event(lambda: self.protocol.propose(command))
+
+    def on_read(self, command: Command, result: object) -> None:
+        """Record one locally-served read/session-replay result."""
+        if self._closed:
+            return
+        self.read_log.append((command, result))
+        now = asyncio.get_running_loop().time()
+        for listener in self.read_listeners:
+            listener(self.node_id, command, result, now)
 
     def _encode(self, message: Message) -> bytes:
         """One length-prefixed frame in this node's configured codec.

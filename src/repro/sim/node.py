@@ -140,6 +140,9 @@ class SimEnv(Env):
     def _deliver(self, command: Command) -> None:
         self._node.on_deliver(command)
 
+    def _deliver_read(self, command: Command, result: object) -> None:
+        self._node.on_read(command, result)
+
     @property
     def rng(self) -> random.Random:
         return self._node.rng
@@ -171,6 +174,14 @@ class SimNode:
         # the application had built before that crash wiped it.
         self.delivery_history: list[list[Command]] = []
         self.deliver_listeners: list[Callable[[int, Command, float], None]] = []
+        # Serving tier: locally-answered reads / cached session replies.
+        # Kept apart from ``delivered`` on purpose -- served reads happen
+        # at the owner alone and must never enter the replicated
+        # decision log the consistency checker byte-compares.
+        self.read_log: list[tuple[Command, object]] = []
+        self.read_listeners: list[
+            Callable[[int, Command, object, float], None]
+        ] = []
         self._timers: set[Event] = set()
 
         self.env = SimEnv(self)
@@ -284,6 +295,14 @@ class SimNode:
         now = self.loop.now
         for listener in self.deliver_listeners:
             listener(self.node_id, command, now)
+
+    def on_read(self, command: Command, result: object) -> None:
+        if self.crashed:
+            return
+        self.read_log.append((command, result))
+        now = self.loop.now
+        for listener in self.read_listeners:
+            listener(self.node_id, command, result, now)
 
     def crash(self) -> None:
         """Crash this node for real: cancel every live timer, stop all

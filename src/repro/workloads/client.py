@@ -33,6 +33,15 @@ class ClientConfig:
     clients_per_node: int = 8
     think_time: float = 0.001
     max_inflight_per_node: int = 64
+    # Aggregate session mode: > 0 models that many client *sessions* per
+    # node with a single repeating timer ticking every ``think_time /
+    # sessions_per_node`` -- the same aggregate open-loop rate as one
+    # timer per session, but with O(1) scheduler state per node, so the
+    # generator scales toward 10^5 sessions.  The workload decides what
+    # each issued command's session stamp is (see
+    # ``SyntheticConfig.sessions_per_node``).  0 keeps the seed's
+    # one-timer-per-client model.
+    sessions_per_node: int = 0
 
     def __post_init__(self) -> None:
         if self.clients_per_node < 1:
@@ -41,6 +50,8 @@ class ClientConfig:
             raise ValueError("think_time must be >= 0")
         if self.max_inflight_per_node < 1:
             raise ValueError("max_inflight_per_node must be >= 1")
+        if self.sessions_per_node < 0:
+            raise ValueError("sessions_per_node must be >= 0")
 
 
 class OpenLoopClients:
@@ -64,15 +75,31 @@ class OpenLoopClients:
         self._rng = cluster.rng.stream("clients")
         for node in cluster.nodes:
             node.deliver_listeners.append(self._on_deliver)
+            listeners = getattr(node, "read_listeners", None)
+            if listeners is not None:
+                # Leased reads complete at the proposer without ever
+                # reaching the delivery stream; without this hook their
+                # in-flight slots would leak and the open loop would
+                # stall at max_inflight.
+                listeners.append(self._on_read)
         self._outstanding: dict[tuple[int, int], int] = {}
+        # Issue interval per timer: aggregate session mode folds a whole
+        # node's sessions into one repeating timer.
+        if config.sessions_per_node:
+            self._interval = max(
+                config.think_time / config.sessions_per_node, 1e-6
+            )
+            self._timers_per_node = 1
+        else:
+            self._interval = max(config.think_time, 1e-6)
+            self._timers_per_node = config.clients_per_node
 
     def start(self) -> None:
-        """Kick off every client thread with a small random phase."""
+        """Kick off every client timer with a small random phase."""
         self._running = True
-        think = max(self.config.think_time, 1e-6)
         for node in self.nodes:
-            for _client in range(self.config.clients_per_node):
-                delay = self._rng.random() * think
+            for _client in range(self._timers_per_node):
+                delay = self._rng.random() * self._interval
                 self._schedule(node, delay)
 
     def stop(self) -> None:
@@ -92,13 +119,19 @@ class OpenLoopClients:
                 self.collector.on_propose(command)
             self.cluster.propose(node, command)
         # Open loop: sleep and go again whether or not we issued.
-        think = max(self.config.think_time, 1e-6)
-        self._schedule(node, think)
+        self._schedule(node, self._interval)
 
     def _on_deliver(self, node_id: int, command: Command, now: float) -> None:
         origin = self._outstanding.get(command.cid)
         if origin is not None and origin == node_id:
             del self._outstanding[command.cid]
+            self._inflight[origin] -= 1
+
+    def _on_read(
+        self, node_id: int, command: Command, result: object, now: float
+    ) -> None:
+        origin = self._outstanding.pop(command.cid, None)
+        if origin is not None:
             self._inflight[origin] -= 1
 
 

@@ -11,6 +11,19 @@ level.  Knobs map one-to-one to the paper's experiments:
   (Figure 7); the rest access a single object.
 - ``local_set_size``: objects per node (Figure 7 varies 10/100/1000).
 - ``payload_bytes``: 16 in the paper's synthetic runs.
+
+Two serving-tier extensions (both off by default, in which case the
+generator draws exactly the seed's RNG sequence and emits byte-identical
+commands):
+
+- ``read_fraction``: probability a command is a read (``is_read``).
+  Reads target a single object chosen by the same locality rule as
+  simple writes; the owner may serve them locally under a lease.
+- ``sessions_per_node``: number of exactly-once client sessions per
+  node.  Commands round-robin across the node's sessions and carry
+  ``session=(client_id, seq)`` with a per-session sequence number --
+  O(1) generator state per session (one int), so session counts can
+  scale toward 10^5 without the workload itself becoming the bottleneck.
 """
 
 from __future__ import annotations
@@ -27,6 +40,8 @@ class SyntheticConfig:
     locality: float = 1.0
     complex_fraction: float = 0.0
     payload_bytes: int = 16
+    read_fraction: float = 0.0
+    sessions_per_node: int = 0
 
     def __post_init__(self) -> None:
         if self.local_set_size < 1:
@@ -35,6 +50,10 @@ class SyntheticConfig:
             raise ValueError("locality must be in [0, 1]")
         if not 0.0 <= self.complex_fraction <= 1.0:
             raise ValueError("complex_fraction must be in [0, 1]")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        if self.sessions_per_node < 0:
+            raise ValueError("sessions_per_node must be >= 0")
 
 
 class SyntheticWorkload:
@@ -45,6 +64,11 @@ class SyntheticWorkload:
         self.n_nodes = n_nodes
         self._rng = rng
         self._seq = [0] * n_nodes
+        # Per-session sequence numbers (one int per session) plus a
+        # round-robin cursor per node; empty when sessions are off.
+        spn = config.sessions_per_node
+        self._session_seq = [[0] * spn for _ in range(n_nodes)] if spn else []
+        self._session_next = [0] * n_nodes
 
     def object_name(self, node: int, index: int) -> str:
         return f"o{node}.{index}"
@@ -62,7 +86,20 @@ class SyntheticWorkload:
         self._seq[node] += 1
         cfg = self.config
 
-        if cfg.complex_fraction and self._rng.random() < cfg.complex_fraction:
+        # Short-circuit draws: with read_fraction == 0.0 no extra RNG
+        # value is consumed, so the command stream (and hence every
+        # downstream decision log) is byte-identical to the seed's.
+        is_read = bool(
+            cfg.read_fraction and self._rng.random() < cfg.read_fraction
+        )
+        if is_read:
+            # Reads target a single object by the simple-command
+            # locality rule; lease-served reads are per-object.
+            if self._rng.random() < cfg.locality:
+                objects = {self._local_object(node)}
+            else:
+                objects = {self._uniform_object()}
+        elif cfg.complex_fraction and self._rng.random() < cfg.complex_fraction:
             # Complex command: one likely-local object + one uniform.
             first = self._local_object(node)
             second = self._uniform_object()
@@ -71,4 +108,19 @@ class SyntheticWorkload:
             objects = {self._local_object(node)}
         else:
             objects = {self._uniform_object()}
-        return Command.make(node, seq, objects, payload_bytes=cfg.payload_bytes)
+
+        session = None
+        if cfg.sessions_per_node:
+            idx = self._session_next[node]
+            self._session_next[node] = (idx + 1) % cfg.sessions_per_node
+            sseq = self._session_seq[node][idx]
+            self._session_seq[node][idx] = sseq + 1
+            session = (node * cfg.sessions_per_node + idx, sseq)
+        return Command.make(
+            node,
+            seq,
+            objects,
+            payload_bytes=cfg.payload_bytes,
+            is_read=is_read,
+            session=session,
+        )
